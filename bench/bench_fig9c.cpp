@@ -1,0 +1,41 @@
+// Figure 9c: MRR decompression time as a function of back-reference
+// nesting depth, on the paper's artificial datasets (Fig. 10).
+//
+// Paper result: decompression time rises sharply with depth until about
+// 16 rounds, then flattens toward the 32-round worst case (all threads in
+// a warp wait for the deepest chain).
+#include "bench/bench_util.hpp"
+#include "datagen/nesting.hpp"
+
+int main() {
+  using namespace gompresso;
+  using namespace gompresso::bench;
+  print_header("Fig 9c: MRR decompression time vs nesting depth");
+
+  const sim::K40Model k40;
+  std::printf("%-10s %-7s %-13s %-13s %-14s %s\n", "families", "depth",
+              "avg rounds", "measured ms", "modeled K40 ms",
+              "modeled K40 ms/GB");
+
+  // families -> expected depth: 32->1, 16->2, 11->3(ceil), 8->4, 6->6,
+  // 4->8, 3->11, 2->16, 1->32 — a sweep over the paper's 0..35 x-axis.
+  for (const std::uint32_t families : {32u, 16u, 11u, 8u, 6u, 4u, 3u, 2u, 1u}) {
+    datagen::NestingConfig nc;
+    nc.families = families;
+    const Bytes input = datagen::make_nesting(kBenchBytes, nc);
+    CompressOptions copt;
+    copt.codec = Codec::kByte;
+    copt.dependency_elimination = false;
+    const Bytes file = compress(input, copt);
+    const auto m =
+        measure_decompress(file, input.size(), Codec::kByte, Strategy::kMultiRound);
+    const double model_s = k40.seconds(m.profile);
+    std::printf("%-10u %-7u %-13.2f %-13.1f %-14.2f %.1f\n", families,
+                datagen::expected_depth(families), m.profile.avg_rounds_per_group,
+                m.seconds * 1e3, model_s * 1e3,
+                model_s * 1e3 / (static_cast<double>(input.size()) / 1e9));
+  }
+  std::printf("\nShape check: time grows with depth and saturates toward the\n"
+              "32-round worst case (paper: sharp rise until ~16 rounds).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// §IV-B staleness sweep: "By testing different values ranging from
+// 64-8 K on different datasets, we determined that 1 K results in the
+// lowest compression ratio degradation."
+//
+// Sweeps the minimal-staleness constant for DE parses on both datasets
+// and reports the DE compression ratio per setting (single-slot
+// HashMatcher, the LZ4-modified configuration of Fig. 11).
+#include "bench/bench_util.hpp"
+#include "datagen/datasets.hpp"
+#include "lz77/parser.hpp"
+
+namespace {
+
+using namespace gompresso;
+
+std::size_t lz4_format_bytes(const lz77::TokenBlock& tokens) {
+  std::size_t bytes = 0;
+  for (const auto& s : tokens.sequences) {
+    bytes += 1;
+    if (s.literal_len >= 15) bytes += (s.literal_len - 15) / 255 + 1;
+    bytes += s.literal_len;
+    if (s.match_len != 0) {
+      bytes += 2;
+      if (s.match_len - 4 >= 15) bytes += (s.match_len - 4 - 15) / 255 + 1;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gompresso::bench;
+  print_header("Staleness sweep (SIV-B): DE ratio vs minimal-staleness constant");
+
+  std::printf("%-10s", "staleness");
+  for (const char* name : {"wikipedia", "matrix"}) std::printf(" %12s", name);
+  std::printf("\n");
+
+  // 0 = always-replace (stock LZ4 policy) shown for reference.
+  for (const std::uint32_t staleness : {0u, 64u, 128u, 256u, 512u, 1024u, 2048u,
+                                        4096u, 8192u}) {
+    std::printf("%-10u", staleness);
+    for (const char* name : {"wikipedia", "matrix"}) {
+      const Bytes input = datagen::by_name(name, kBenchBytes / 2);
+      lz77::ParserOptions popt;
+      popt.matcher.window_size = 8 * 1024;
+      popt.matcher.min_match = 4;
+      popt.matcher.max_match = 258;
+      popt.matcher.staleness = staleness;
+      popt.dependency_elimination = true;
+      const lz77::TokenBlock tokens = lz77::parse(input, popt, nullptr);
+      std::printf(" %12.3f",
+                  static_cast<double>(input.size()) / lz4_format_bytes(tokens));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nShape check: a mid-range staleness (paper: 1 KB) maximises the\n"
+              "DE ratio; always-replace (0) starves DE of below-HWM entries.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every bench prints two kinds of numbers:
+//   measured — wall-clock on this machine (1-vCPU container; the warp
+//              engine is simulated, so absolute values are CPU-scale),
+//   modeled  — the calibrated device models (K40 cost model, PCIe,
+//              24-thread CPU scaling) that place the same counted work on
+//              the paper's hardware. EXPERIMENTS.md records both next to
+//              the paper's reported values.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+
+#include "core/gompresso.hpp"
+#include "sim/energy_model.hpp"
+#include "sim/gpu_cost_model.hpp"
+#include "util/stopwatch.hpp"
+
+namespace gompresso::bench {
+
+/// Default dataset size for the figure benches (scaled from the paper's
+/// 1 GB to suit this container; both generators are stationary sources so
+/// ratios and round counts are size-stable).
+inline constexpr std::size_t kBenchBytes = 12 * 1024 * 1024;
+
+/// Best-of-N wall time of `fn` in seconds (first call warms caches).
+inline double time_best_of(int n, const std::function<void()>& fn) {
+  double best = 1e100;
+  fn();  // warm-up
+  for (int i = 0; i < n; ++i) {
+    Stopwatch t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// One decompression measurement: measured seconds + the work profile the
+/// device model consumes.
+struct DecompressMeasurement {
+  double seconds = 0;
+  DecompressResult result;
+  sim::RunProfile profile;
+};
+
+/// Times decompression of `file` (whose plaintext is `input_size` bytes)
+/// with the given strategy and fills the device-model profile.
+inline DecompressMeasurement measure_decompress(ByteSpan file, std::size_t input_size,
+                                                Codec codec, Strategy strategy,
+                                                int repeats = 2) {
+  DecompressOptions dopt;
+  dopt.auto_strategy = false;
+  dopt.strategy = strategy;
+  dopt.verify_checksums = false;  // measure the decompressor, not CRC32
+
+  DecompressMeasurement m;
+  m.seconds = time_best_of(repeats, [&] { m.result = decompress(file, dopt); });
+  check(m.result.data.size() == input_size, "bench: size mismatch");
+
+  m.profile.uncompressed_bytes = input_size;
+  m.profile.compressed_bytes = file.size();
+  m.profile.codec = codec;
+  m.profile.strategy = strategy;
+  m.profile.avg_rounds_per_group =
+      strategy == Strategy::kMultiPass
+          ? static_cast<double>(m.result.multipass.passes)
+          : m.result.metrics.avg_rounds_per_group();
+  m.profile.spilled_refs = m.result.multipass.spilled_refs;
+  m.profile.spilled_bytes = m.result.multipass.spilled_bytes;
+  return m;
+}
+
+inline void print_header(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace gompresso::bench

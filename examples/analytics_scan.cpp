@@ -1,0 +1,109 @@
+// Analytics scan: the workload that motivates the paper.
+//
+// "usually data is compressed only once at load time but repeatedly
+// decompressed as it is read when executing analytics or machine learning
+// jobs. Decompression speed is therefore crucial" (paper §I).
+//
+// This example builds a compressed "table" of MatrixMarket edge data once
+// (load time), then runs repeated analytic queries over it. Each query
+// decompresses every block and aggregates — the decompress-scan-aggregate
+// loop of a columnar engine. It reports the fraction of query time spent
+// in decompression for each codec, which is exactly the cost the paper's
+// GPU decompressor attacks.
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "core/gompresso.hpp"
+#include "datagen/datasets.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace gompresso;
+
+/// Scans MatrixMarket edge lines, summing destination vertices and
+/// counting edges with a destination above a threshold (a predicate
+/// aggregate, the shape of a WHERE + SUM query).
+struct QueryResult {
+  std::uint64_t edges = 0;
+  std::uint64_t sum_dst = 0;
+  std::uint64_t matching = 0;
+};
+
+QueryResult scan_edges(ByteSpan data, std::uint64_t threshold) {
+  QueryResult q;
+  const char* p = reinterpret_cast<const char*>(data.data());
+  const char* end = p + data.size();
+  while (p < end) {
+    const char* nl = static_cast<const char*>(memchr(p, '\n', end - p));
+    if (nl == nullptr) nl = end;
+    const std::string_view line(p, nl - p);
+    p = nl + 1;
+    if (line.empty() || line[0] == '%') continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos) continue;
+    std::uint64_t dst = 0;
+    const auto rest = line.substr(space + 1);
+    std::from_chars(rest.data(), rest.data() + rest.size(), dst);
+    ++q.edges;
+    q.sum_dst += dst;
+    q.matching += dst > threshold;
+  }
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kTableBytes = 24 * 1024 * 1024;
+  constexpr int kQueries = 5;
+
+  std::printf("building a %zu MiB edge table...\n", kTableBytes >> 20);
+  const Bytes table = datagen::matrix(kTableBytes);
+
+  struct Config {
+    const char* name;
+    Codec codec;
+    bool de;
+  };
+  const Config configs[] = {
+      {"Gompresso/Bit  + DE", Codec::kBit, true},
+      {"Gompresso/Bit  (MRR)", Codec::kBit, false},
+      {"Gompresso/Byte + DE", Codec::kByte, true},
+  };
+
+  for (const auto& cfg : configs) {
+    CompressOptions copt;
+    copt.codec = cfg.codec;
+    copt.dependency_elimination = cfg.de;
+    CompressStats stats;
+    const Bytes file = compress(table, copt, &stats);
+
+    // Run the query workload: decompress + scan, repeatedly (the "read
+    // many times" pattern).
+    double decompress_s = 0;
+    double scan_s = 0;
+    QueryResult q;
+    for (int i = 0; i < kQueries; ++i) {
+      Stopwatch t1;
+      const Bytes data = decompress_bytes(file);
+      decompress_s += t1.seconds();
+      Stopwatch t2;
+      q = scan_edges(data, 500000 + i);  // vary the predicate per query
+      scan_s += t2.seconds();
+    }
+    std::printf(
+        "%-22s ratio %.2f:1 | %d queries: decompress %6.0f ms, scan %6.0f ms "
+        "(%.0f%% of time in decompression) | edges=%llu matching=%llu\n",
+        cfg.name, stats.ratio(), kQueries, decompress_s * 1e3, scan_s * 1e3,
+        100.0 * decompress_s / (decompress_s + scan_s),
+        static_cast<unsigned long long>(q.edges),
+        static_cast<unsigned long long>(q.matching));
+  }
+  std::printf(
+      "\nFaster decompression directly shrinks the dominant term of the\n"
+      "query loop — the paper's motivation for GPU-side decompression.\n");
+  return 0;
+}

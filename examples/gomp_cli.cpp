@@ -1,0 +1,178 @@
+// gomp: a gzip-style command-line front end for Gompresso.
+//
+// Usage:
+//   gomp c [options] <input> <output>    compress a file
+//   gomp d <input> <output>              decompress a file
+//   gomp info <input>                    print container metadata
+//
+// Compression options:
+//   --byte            use Gompresso/Byte (default: Gompresso/Bit)
+//   --tans            use Gompresso/Tans (shared tANS models)
+//   --no-de           disable dependency elimination
+//   --block <KB>      data block size in KiB (default 256)
+//   --window <B>      sliding window in bytes, power of two (default 8192)
+//   --subblock <N>    sequences per sub-block (default 16)
+//   --effort <N>      match-finder chain depth (default 16)
+// Decompression options:
+//   --strategy <s>    sc | mrr | de | multipass (default: auto)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/gompresso.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace gompresso;
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  check(in.good(), "cannot open input file");
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  check(in.good(), "read failed");
+  return data;
+}
+
+void write_file(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  check(out.good(), "cannot open output file");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  check(out.good(), "write failed");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gomp c [--byte] [--no-de] [--block KB] [--window B]\n"
+               "              [--subblock N] [--effort N] <input> <output>\n"
+               "       gomp d [--strategy sc|mrr|de|multipass] <input> <output>\n"
+               "       gomp info <input>\n");
+  return 2;
+}
+
+int cmd_compress(int argc, char** argv) {
+  CompressOptions opt;
+  std::string input_path, output_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--byte") {
+      opt.codec = Codec::kByte;
+    } else if (arg == "--tans") {
+      opt.codec = Codec::kTans;
+    } else if (arg == "--no-de") {
+      opt.dependency_elimination = false;
+    } else if (arg == "--block" && i + 1 < argc) {
+      opt.block_size = static_cast<std::uint32_t>(std::stoul(argv[++i])) * 1024;
+    } else if (arg == "--window" && i + 1 < argc) {
+      opt.window_size = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--subblock" && i + 1 < argc) {
+      opt.tokens_per_subblock = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--effort" && i + 1 < argc) {
+      opt.match_effort = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else if (output_path.empty()) {
+      output_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input_path.empty() || output_path.empty()) return usage();
+
+  const Bytes input = read_file(input_path);
+  CompressStats stats;
+  Stopwatch timer;
+  const Bytes file = compress(input, opt, &stats);
+  const double seconds = timer.seconds();
+  write_file(output_path, file);
+  std::printf("%s: %zu -> %zu bytes, ratio %.3f:1, %.1f MB/s, %llu blocks\n",
+              input_path.c_str(), input.size(), file.size(), stats.ratio(),
+              input.size() / 1e6 / seconds,
+              static_cast<unsigned long long>(stats.blocks));
+  return 0;
+}
+
+int cmd_decompress(int argc, char** argv) {
+  DecompressOptions opt;
+  std::string input_path, output_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strategy" && i + 1 < argc) {
+      const std::string s = argv[++i];
+      opt.auto_strategy = false;
+      if (s == "sc") {
+        opt.strategy = Strategy::kSequentialCopy;
+      } else if (s == "mrr") {
+        opt.strategy = Strategy::kMultiRound;
+      } else if (s == "de") {
+        opt.strategy = Strategy::kDependencyFree;
+      } else if (s == "multipass") {
+        opt.strategy = Strategy::kMultiPass;
+      } else {
+        return usage();
+      }
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else if (output_path.empty()) {
+      output_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input_path.empty() || output_path.empty()) return usage();
+
+  const Bytes file = read_file(input_path);
+  Stopwatch timer;
+  const DecompressResult result = decompress(file, opt);
+  const double seconds = timer.seconds();
+  write_file(output_path, result.data);
+  std::printf("%s: %zu -> %zu bytes, %.2f GB/s, strategy %s, avg rounds %.2f\n",
+              input_path.c_str(), file.size(), result.data.size(),
+              gb_per_sec(result.data.size(), seconds),
+              strategy_name(result.strategy_used),
+              result.metrics.avg_rounds_per_group());
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const Bytes file = read_file(argv[0]);
+  std::size_t pos = 0;
+  const format::FileHeader h = format::FileHeader::deserialize(file, pos);
+  std::printf("codec:               Gompresso/%s\n",
+              h.codec == Codec::kBit    ? "Bit"
+              : h.codec == Codec::kByte ? "Byte"
+                                        : "Tans");
+  std::printf("dependency elim.:    %s\n", h.dependency_elimination ? "yes" : "no");
+  std::printf("codeword limit:      %u bits\n", h.codeword_limit);
+  std::printf("window size:         %u B\n", h.window_size);
+  std::printf("match lengths:       %u..%u\n", h.min_match, h.max_match);
+  std::printf("block size:          %u B\n", h.block_size);
+  std::printf("tokens/sub-block:    %u\n", h.tokens_per_subblock);
+  std::printf("uncompressed size:   %llu B\n",
+              static_cast<unsigned long long>(h.uncompressed_size));
+  std::printf("blocks:              %zu\n", h.num_blocks());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "c") return cmd_compress(argc - 2, argv + 2);
+    if (cmd == "d") return cmd_decompress(argc - 2, argv + 2);
+    if (cmd == "info") return cmd_info(argc - 2, argv + 2);
+  } catch (const gompresso::Error& e) {
+    std::fprintf(stderr, "gomp: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

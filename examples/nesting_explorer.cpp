@@ -1,0 +1,65 @@
+// Nesting explorer: visualises how back-reference nesting depth drives
+// Multi-Round Resolution behaviour (paper §IV-A and Fig. 9b/9c/10).
+//
+// Generates the paper's artificial nesting datasets at several depths,
+// decompresses them with MRR, and prints the per-round resolution
+// histogram — the number of back-references and bytes that become
+// resolvable in each warp round.
+#include <cstdio>
+
+#include "core/gompresso.hpp"
+#include "datagen/nesting.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace gompresso;
+  constexpr std::size_t kSize = 8 * 1024 * 1024;
+
+  std::printf("dataset: repeated %u-byte strings with alternating one-end\n",
+              datagen::NestingConfig{}.string_len);
+  std::printf("mutations, separated by disjoint separator bytes (Fig. 10)\n\n");
+
+  for (const std::uint32_t families : {32u, 8u, 4u, 2u, 1u}) {
+    datagen::NestingConfig nc;
+    nc.families = families;
+    const Bytes input = datagen::make_nesting(kSize, nc);
+
+    CompressOptions copt;
+    copt.dependency_elimination = false;  // keep the nested references
+    copt.codec = Codec::kByte;
+    const Bytes file = compress(input, copt);
+
+    DecompressOptions dopt;
+    dopt.auto_strategy = false;
+    dopt.strategy = Strategy::kMultiRound;
+    Stopwatch timer;
+    const DecompressResult r = decompress(file, dopt);
+    const double ms = timer.millis();
+    if (r.data != input) {
+      std::printf("ERROR: round trip failed\n");
+      return 1;
+    }
+
+    std::printf("families=%2u  expected depth=%2u  measured avg rounds=%.2f  "
+                "max=%llu  decompression=%.0f ms\n",
+                families, datagen::expected_depth(families),
+                r.metrics.avg_rounds_per_group(),
+                static_cast<unsigned long long>(r.metrics.max_rounds_in_group), ms);
+    std::printf("  round : backrefs resolved (bytes)\n");
+    for (std::size_t round = 0; round < r.metrics.refs_per_round.size(); ++round) {
+      if (r.metrics.refs_per_round[round] == 0) continue;
+      std::printf("  %5zu : %8llu (%llu)\n", round + 1,
+                  static_cast<unsigned long long>(r.metrics.refs_per_round[round]),
+                  static_cast<unsigned long long>(r.metrics.bytes_per_round[round]));
+      if (round >= 7 && families <= 2) {
+        std::printf("  ...   : (one chain link per round until depth %u)\n",
+                    datagen::expected_depth(families));
+        break;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Deeper nesting -> more MRR rounds -> slower decompression;\n"
+              "dependency elimination (DE) avoids the rounds entirely.\n");
+  return 0;
+}

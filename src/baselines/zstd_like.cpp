@@ -1,0 +1,87 @@
+#include "baselines/zstd_like.hpp"
+
+#include "ans/tans.hpp"
+#include "lz77/parser.hpp"
+#include "util/varint.hpp"
+
+namespace gompresso::baselines {
+
+Bytes ZstdLike::compress_block(ByteSpan input) const {
+  Bytes out;
+  put_varint(out, input.size());
+  if (input.empty()) return out;
+
+  lz77::ParserOptions popt;
+  popt.matcher.window_size = 32 * 1024;
+  popt.matcher.min_match = 4;  // zstd's minimum match
+  popt.matcher.max_match = 258;
+  popt.matcher.staleness = 0;
+  const lz77::TokenBlock tokens = lz77::parse_chained(input, popt, chain_depth_);
+
+  // Sequence stream: packed varints (lit_len, match_len, dist), then
+  // tANS-coded — zstd FSE-codes its sequence fields; coding the packed
+  // byte stream captures most of that entropy win in simplified form.
+  Bytes seq_raw;
+  put_varint(seq_raw, tokens.sequences.size());
+  for (const auto& s : tokens.sequences) {
+    put_varint(seq_raw, s.literal_len);
+    put_varint(seq_raw, s.match_len);
+    if (s.match_len != 0) put_varint(seq_raw, s.match_dist);
+  }
+  const Bytes seq_stream = ans::encode(seq_raw);
+  // Literal stream: tANS-coded.
+  const Bytes literals = ans::encode(tokens.literals);
+
+  put_varint(out, seq_stream.size());
+  out.insert(out.end(), seq_stream.begin(), seq_stream.end());
+  put_varint(out, literals.size());
+  out.insert(out.end(), literals.begin(), literals.end());
+  return out;
+}
+
+Bytes ZstdLike::decompress_block(ByteSpan payload) const {
+  std::size_t pos = 0;
+  const std::uint64_t n = get_varint(payload, pos);
+  check(n <= (1ull << 32), "zstd-like: implausible size");
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(n));
+  if (n == 0) return out;
+
+  const std::uint64_t seq_bytes = get_varint(payload, pos);
+  check(pos + seq_bytes <= payload.size(), "zstd-like: truncated sequences");
+  const Bytes seq_stream =
+      ans::decode(payload.subspan(pos, static_cast<std::size_t>(seq_bytes)));
+  pos += static_cast<std::size_t>(seq_bytes);
+  const std::uint64_t lit_bytes = get_varint(payload, pos);
+  check(pos + lit_bytes <= payload.size(), "zstd-like: truncated literals");
+  const Bytes literals =
+      ans::decode(payload.subspan(pos, static_cast<std::size_t>(lit_bytes)));
+
+  std::size_t spos = 0;
+  const std::uint64_t n_seq = get_varint(seq_stream, spos);
+  std::size_t lit_cursor = 0;
+  for (std::uint64_t k = 0; k < n_seq; ++k) {
+    const std::uint64_t lit_len = get_varint(seq_stream, spos);
+    const std::uint64_t match_len = get_varint(seq_stream, spos);
+    check(lit_cursor + lit_len <= literals.size(), "zstd-like: literal overrun");
+    out.insert(out.end(), literals.begin() + static_cast<std::ptrdiff_t>(lit_cursor),
+               literals.begin() + static_cast<std::ptrdiff_t>(lit_cursor + lit_len));
+    lit_cursor += static_cast<std::size_t>(lit_len);
+    if (match_len != 0) {
+      const std::uint64_t dist = get_varint(seq_stream, spos);
+      check(dist >= 1 && dist <= out.size(), "zstd-like: bad distance");
+      std::size_t src = out.size() - static_cast<std::size_t>(dist);
+      for (std::uint64_t i = 0; i < match_len; ++i) out.push_back(out[src + i]);
+    }
+    check(out.size() <= n, "zstd-like: output overrun");
+  }
+  check(out.size() == n, "zstd-like: size mismatch");
+  check(lit_cursor == literals.size(), "zstd-like: unconsumed literals");
+  return out;
+}
+
+}  // namespace gompresso::baselines
+
+namespace gompresso::baselines {
+std::unique_ptr<Codec> make_zstd_like() { return std::make_unique<ZstdLike>(); }
+}  // namespace gompresso::baselines

@@ -1,0 +1,43 @@
+#include "bitstream/bit_reader.hpp"
+
+#include <cstring>
+
+namespace gompresso {
+
+BitReader::BitReader(ByteSpan data, std::uint64_t start_bit) : data_(data) {
+  byte_cursor_ = static_cast<std::size_t>(start_bit / 8);
+  bit_pos_ = start_bit;
+  const unsigned skip = static_cast<unsigned>(start_bit % 8);
+  if (byte_cursor_ < data_.size()) {
+    acc_ = data_[byte_cursor_] >> skip;
+    acc_bits_ = 8 - skip;
+    ++byte_cursor_;
+  } else {
+    acc_ = 0;
+    acc_bits_ = 8 - skip;  // zero padding beyond the end
+  }
+}
+
+void BitReader::refill() {
+  // Fast path: load 8 bytes at once when available. Only the bytes that
+  // fit entirely in the accumulator are kept; the rest must be masked off
+  // or they would be loaded (and OR'd) a second time on the next refill.
+  if (byte_cursor_ + 8 <= data_.size() && acc_bits_ <= 56) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, data_.data() + byte_cursor_, 8);  // little-endian hosts
+    const unsigned take_bytes = (63 - acc_bits_) / 8;     // 0..7
+    const std::uint64_t mask = (1ull << (take_bytes * 8)) - 1;
+    acc_ |= (chunk & mask) << acc_bits_;
+    acc_bits_ += take_bytes * 8;
+    byte_cursor_ += take_bytes;
+    return;
+  }
+  while (acc_bits_ <= 56) {
+    const std::uint64_t byte = byte_cursor_ < data_.size() ? data_[byte_cursor_] : 0;
+    acc_ |= byte << acc_bits_;
+    acc_bits_ += 8;
+    ++byte_cursor_;
+  }
+}
+
+}  // namespace gompresso

@@ -1,0 +1,62 @@
+// LSB-first bit stream reader with arbitrary starting bit offset.
+//
+// Each Huffman-decoder lane starts reading its sub-block at a bit offset
+// computed from the sub-block size list in the block header (paper
+// §III-B.1), so the reader supports construction at any bit position
+// within a buffer. Reads past the end of the buffer yield zero bits and
+// latch an overflow flag that callers check once per sub-block; this keeps
+// the hot decode loop branch-light, mirroring the single-lookup design the
+// paper uses to avoid warp divergence.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace gompresso {
+
+/// Reads variable-width codes from a byte buffer, LSB-first.
+class BitReader {
+ public:
+  /// Reads from `data`, starting at absolute bit offset `start_bit`.
+  explicit BitReader(ByteSpan data, std::uint64_t start_bit = 0);
+
+  /// Returns the next `nbits` bits without consuming them (0..32).
+  /// Bits beyond the end of the buffer read as zero.
+  std::uint32_t peek(unsigned nbits) {
+    if (acc_bits_ < nbits) refill();
+    return static_cast<std::uint32_t>(acc_ & ((1ull << nbits) - 1));
+  }
+
+  /// Consumes `nbits` bits (must have been peeked or known available).
+  void consume(unsigned nbits) {
+    if (acc_bits_ < nbits) refill();
+    acc_ >>= nbits;
+    acc_bits_ -= nbits;
+    bit_pos_ += nbits;
+  }
+
+  /// Reads and consumes `nbits` bits (0..32).
+  std::uint32_t read(unsigned nbits) {
+    const std::uint32_t v = peek(nbits);
+    consume(nbits);
+    return v;
+  }
+
+  /// Absolute bit position of the next unread bit.
+  std::uint64_t bit_pos() const { return bit_pos_; }
+
+  /// True if any consumed bit lay beyond the end of the buffer.
+  bool overflowed() const { return bit_pos_ > 8 * static_cast<std::uint64_t>(data_.size()); }
+
+ private:
+  void refill();
+
+  ByteSpan data_;
+  std::uint64_t acc_ = 0;    // prefetched bits, next bit at LSB
+  unsigned acc_bits_ = 0;    // valid bits in acc_
+  std::uint64_t bit_pos_ = 0;    // absolute position of next unread bit
+  std::size_t byte_cursor_ = 0;  // next byte to load into acc_
+};
+
+}  // namespace gompresso

@@ -1,0 +1,41 @@
+#include "bitstream/bit_writer.hpp"
+
+#include <cassert>
+
+namespace gompresso {
+
+void BitWriter::flush_full_bytes() {
+  while (acc_bits_ >= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(acc_));
+    acc_ >>= 8;
+    acc_bits_ -= 8;
+  }
+}
+
+void BitWriter::write(std::uint64_t value, unsigned nbits) {
+  assert(nbits <= 57);
+  assert(nbits == 64 || (value >> nbits) == 0);
+  acc_ |= value << acc_bits_;
+  acc_bits_ += nbits;
+  total_bits_ += nbits;
+  flush_full_bytes();
+}
+
+void BitWriter::align_to_byte() {
+  const unsigned rem = total_bits_ % 8;
+  if (rem != 0) write(0, 8 - rem);
+}
+
+Bytes BitWriter::finish() {
+  if (acc_bits_ > 0) {
+    buf_.push_back(static_cast<std::uint8_t>(acc_));
+    acc_ = 0;
+    acc_bits_ = 0;
+  }
+  total_bits_ = 0;
+  Bytes out;
+  out.swap(buf_);
+  return out;
+}
+
+}  // namespace gompresso

@@ -1,0 +1,48 @@
+// LSB-first bit stream writer (DEFLATE bit order).
+//
+// Gompresso/Bit sub-blocks are concatenated at bit granularity: each
+// sub-block's compressed size in bits is recorded in the block header so
+// decoder lanes can seek to arbitrary bit offsets (paper §III-A). The
+// writer therefore tracks an exact bit position.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace gompresso {
+
+/// Appends variable-width codes to a byte buffer, least-significant bit
+/// first within each byte (the DEFLATE convention).
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `nbits` bits of `value` (0 <= nbits <= 57).
+  void write(std::uint64_t value, unsigned nbits);
+
+  /// Total number of bits written so far.
+  std::uint64_t bit_count() const { return total_bits_; }
+
+  /// Pads with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  /// Flushes any partial byte and returns the finished buffer.
+  /// The writer is left empty and reusable.
+  Bytes finish();
+
+  /// Appends the pending bits of another writer's finished buffer is not
+  /// supported; instead sub-block streams are written through a single
+  /// writer sequentially. This helper asserts the invariant in debug mode.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
+ private:
+  void flush_full_bytes();
+
+  Bytes buf_;
+  std::uint64_t acc_ = 0;       // pending bits, LSB-first
+  unsigned acc_bits_ = 0;       // number of valid bits in acc_
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace gompresso

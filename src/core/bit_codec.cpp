@@ -1,0 +1,195 @@
+#include "core/bit_codec.hpp"
+
+#include "bitstream/bit_reader.hpp"
+#include "bitstream/bit_writer.hpp"
+#include "huffman/code_builder.hpp"
+#include "huffman/decoder.hpp"
+#include "huffman/encoder.hpp"
+#include "huffman/histogram.hpp"
+#include "huffman/serial.hpp"
+#include "lz77/deflate_tables.hpp"
+#include "util/varint.hpp"
+
+namespace gompresso::core {
+namespace {
+
+struct SubblockInfo {
+  std::uint64_t bits = 0;
+  std::uint32_t n_sequences = 0;
+  std::uint32_t n_literals = 0;
+};
+
+}  // namespace
+
+std::size_t decode_tables_footprint(unsigned codeword_limit) {
+  // Two tables of 2^CWL entries, 4 bytes each ({symbol u16, length u8} padded).
+  return 2 * (std::size_t{1} << codeword_limit) * 4;
+}
+
+Bytes encode_block_bit(const lz77::TokenBlock& block, const BitCodecConfig& config) {
+  check(config.tokens_per_subblock >= 1, "bit codec: tokens_per_subblock must be >= 1");
+  check(config.codeword_limit >= 9 && config.codeword_limit <= 15,
+        "bit codec: CWL out of range (need >= ceil(log2(286)))");
+
+  // Pass 1: histogram both alphabets.
+  huffman::Histogram litlen_hist(kLitLenAlphabet);
+  huffman::Histogram offset_hist(kOffsetAlphabet);
+  for (const auto b : block.literals) litlen_hist.add(b);
+  for (const auto& s : block.sequences) {
+    if (s.match_len == 0) {
+      litlen_hist.add(kEndSymbol);
+      continue;
+    }
+    check(s.match_len >= lz77::kMinMatch && s.match_len <= lz77::kMaxMatch,
+          "bit codec: match length outside DEFLATE domain");
+    check(s.match_dist >= 1 && s.match_dist <= lz77::kMaxDistance,
+          "bit codec: match distance outside DEFLATE domain");
+    litlen_hist.add(kFirstLengthSymbol + lz77::encode_length(s.match_len).code);
+    offset_hist.add(lz77::encode_distance(s.match_dist).code);
+  }
+
+  // Build the two limited-length canonical codes.
+  const auto litlen_lengths =
+      huffman::build_code_lengths(litlen_hist.counts(), config.codeword_limit);
+  const auto offset_lengths =
+      huffman::build_code_lengths(offset_hist.counts(), config.codeword_limit);
+  const huffman::Encoder litlen_enc(huffman::assign_canonical_codes(litlen_lengths));
+  const huffman::Encoder offset_enc(huffman::assign_canonical_codes(offset_lengths));
+
+  // Pass 2: emit the bitstream sub-block by sub-block, recording sizes.
+  BitWriter bits;
+  std::vector<SubblockInfo> table;
+  const std::size_t n_seq = block.sequences.size();
+  const std::uint8_t* lit = block.literals.data();
+  std::size_t seq_index = 0;
+  while (seq_index < n_seq) {
+    SubblockInfo info;
+    const std::uint64_t start_bits = bits.bit_count();
+    const std::size_t count =
+        std::min<std::size_t>(config.tokens_per_subblock, n_seq - seq_index);
+    for (std::size_t k = 0; k < count; ++k) {
+      const lz77::Sequence& s = block.sequences[seq_index + k];
+      for (std::uint32_t i = 0; i < s.literal_len; ++i) litlen_enc.encode(lit[i], bits);
+      lit += s.literal_len;
+      info.n_literals += s.literal_len;
+      if (s.match_len == 0) {
+        litlen_enc.encode(kEndSymbol, bits);
+      } else {
+        const auto lc = lz77::encode_length(s.match_len);
+        litlen_enc.encode(kFirstLengthSymbol + lc.code, bits);
+        bits.write(lc.extra_value, lc.extra_bits);
+        const auto dc = lz77::encode_distance(s.match_dist);
+        offset_enc.encode(dc.code, bits);
+        bits.write(dc.extra_value, dc.extra_bits);
+      }
+    }
+    info.n_sequences = static_cast<std::uint32_t>(count);
+    info.bits = bits.bit_count() - start_bits;
+    table.push_back(info);
+    seq_index += count;
+  }
+
+  // Assemble: counts, sub-block table, serialized trees, bitstream.
+  Bytes out;
+  put_varint(out, n_seq);
+  put_varint(out, block.literals.size());
+  put_varint(out, table.size());
+  for (const auto& info : table) {
+    put_varint(out, info.bits);
+    put_varint(out, info.n_sequences);
+    put_varint(out, info.n_literals);
+  }
+  BitWriter trees;
+  huffman::write_code_lengths(litlen_lengths, trees);
+  huffman::write_code_lengths(offset_lengths, trees);
+  const Bytes tree_bytes = trees.finish();
+  out.insert(out.end(), tree_bytes.begin(), tree_bytes.end());
+  const Bytes stream = bits.finish();
+  out.insert(out.end(), stream.begin(), stream.end());
+  return out;
+}
+
+lz77::TokenBlock decode_block_bit(ByteSpan payload, const BitCodecConfig& config) {
+  std::size_t pos = 0;
+  const std::uint64_t n_seq = get_varint(payload, pos);
+  const std::uint64_t n_literals = get_varint(payload, pos);
+  const std::uint64_t n_subblocks = get_varint(payload, pos);
+  check(n_seq > 0, "bit codec: empty block");
+  check(n_subblocks > 0 && n_subblocks <= n_seq, "bit codec: bad sub-block count");
+
+  std::vector<SubblockInfo> table(static_cast<std::size_t>(n_subblocks));
+  std::uint64_t seq_total = 0, lit_total = 0;
+  for (auto& info : table) {
+    info.bits = get_varint(payload, pos);
+    info.n_sequences = static_cast<std::uint32_t>(get_varint(payload, pos));
+    info.n_literals = static_cast<std::uint32_t>(get_varint(payload, pos));
+    seq_total += info.n_sequences;
+    lit_total += info.n_literals;
+  }
+  check(seq_total == n_seq, "bit codec: sub-block sequence counts disagree");
+  check(lit_total == n_literals, "bit codec: sub-block literal counts disagree");
+
+  // Deserialize the two trees and build the single-lookup decode tables
+  // ("stored in the software-controlled, on-chip memories of the GPU").
+  BitReader tree_reader(payload, 8 * pos);
+  const auto litlen_lengths = huffman::read_code_lengths(kLitLenAlphabet, tree_reader);
+  const auto offset_lengths = huffman::read_code_lengths(kOffsetAlphabet, tree_reader);
+  check(!tree_reader.overflowed(), "bit codec: truncated tree section");
+  const huffman::Decoder litlen_dec(litlen_lengths, config.codeword_limit);
+  const huffman::Decoder offset_dec(offset_lengths, config.codeword_limit);
+  const std::size_t tree_nibbles = kLitLenAlphabet + kOffsetAlphabet;
+  const std::size_t stream_base_bit = 8 * pos + 8 * ((tree_nibbles * 4 + 7) / 8);
+
+  lz77::TokenBlock block;
+  block.sequences.resize(static_cast<std::size_t>(n_seq));
+  block.literals.resize(static_cast<std::size_t>(n_literals));
+
+  // Each warp lane decodes one sub-block; lanes are independent because
+  // the table gives every lane its bit offset and output slots. Here the
+  // lanes execute as a loop (lock-step equivalent: no data flows between
+  // sub-block decodes).
+  std::uint64_t bit_offset = stream_base_bit;
+  std::size_t seq_base = 0;
+  std::size_t lit_base = 0;
+  for (const auto& info : table) {
+    BitReader reader(payload, bit_offset);
+    lz77::Sequence* seq_out = block.sequences.data() + seq_base;
+    std::uint8_t* lit_out = block.literals.data() + lit_base;
+    std::uint32_t lits_left = info.n_literals;
+    for (std::uint32_t k = 0; k < info.n_sequences; ++k) {
+      lz77::Sequence seq;
+      while (true) {
+        const std::uint16_t sym = litlen_dec.decode(reader);
+        check(sym != huffman::Decoder::kInvalidSymbol, "bit codec: invalid lit/len code");
+        if (sym < 256) {
+          check(lits_left != 0, "bit codec: literal overflow in sub-block");
+          *lit_out++ = static_cast<std::uint8_t>(sym);
+          --lits_left;
+          ++seq.literal_len;
+          continue;
+        }
+        if (sym == kEndSymbol) break;  // terminator sequence: no match
+        const std::uint32_t lcode = sym - kFirstLengthSymbol;
+        check(lcode < lz77::kNumLengthCodes, "bit codec: bad length symbol");
+        const std::uint32_t lextra = reader.read(lz77::length_extra_bits(lcode));
+        seq.match_len = lz77::decode_length(lcode, lextra);
+        const std::uint16_t dsym = offset_dec.decode(reader);
+        check(dsym != huffman::Decoder::kInvalidSymbol, "bit codec: invalid offset code");
+        const std::uint32_t dextra = reader.read(lz77::distance_extra_bits(dsym));
+        seq.match_dist = lz77::decode_distance(dsym, dextra);
+        break;
+      }
+      seq_out[k] = seq;
+    }
+    check(lits_left == 0, "bit codec: literal underflow in sub-block");
+    check(reader.bit_pos() == bit_offset + info.bits, "bit codec: sub-block size mismatch");
+    check(!reader.overflowed(), "bit codec: sub-block overran payload");
+    bit_offset += info.bits;
+    seq_base += info.n_sequences;
+    lit_base += info.n_literals;
+  }
+  block.uncompressed_size = block.computed_size();
+  return block;
+}
+
+}  // namespace gompresso::core

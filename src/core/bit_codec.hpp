@@ -1,0 +1,68 @@
+// Gompresso/Bit block codec: LZ77 sequences entropy-coded with two
+// limited-length canonical Huffman trees per block (paper §III-A, Fig. 3).
+//
+// Alphabets (DEFLATE-style):
+//   lit/len tree — 0..255 literal bytes, 256 = END (terminates the final
+//                  all-literal sequence of a block), 257..285 = the 29
+//                  RFC 1951 match-length buckets (+ extra bits).
+//   offset tree  — the 30 RFC 1951 distance buckets (+ extra bits).
+//
+// "Similar to DEFLATE, Gompresso/Bit uses two separate Huffman trees to
+// facilitate the encoding, one for the match offset values and the second
+// for the length of the matches and the literals themselves."
+//
+// To enable parallel decoding, the sequences of a block are split into
+// sub-blocks of a fixed number of sequences (16 in §V); each sub-block's
+// compressed size in bits is stored in the block header so decoder lanes
+// can seek directly to their sub-block. In addition to the bit sizes the
+// header stores per-sub-block sequence and literal-byte counts, which let
+// each lane compute its output slot in the sequence array and literal
+// buffer without a separate pass — preserving the paper's "only one pass
+// over the encoded data" property. This header overhead is included in
+// every compression-ratio measurement.
+//
+// Block payload layout (byte granularity unless noted):
+//   varint  n_sequences
+//   varint  n_literal_bytes
+//   varint  n_subblocks
+//   per sub-block: varint bit_size, varint n_seqs, varint n_literals
+//   nibbles 286 lit/len code lengths, 30 offset code lengths (bit-packed)
+//   bytes   Huffman bitstream (sub-block i starts at bit offset
+//           sum of bit_size[j < i])
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lz77/sequence.hpp"
+#include "simt/warp.hpp"
+#include "util/common.hpp"
+
+namespace gompresso::core {
+
+inline constexpr std::size_t kLitLenAlphabet = 286;  // 256 lit + END + 29 lengths
+inline constexpr std::size_t kOffsetAlphabet = 30;
+inline constexpr std::uint16_t kEndSymbol = 256;
+inline constexpr std::uint16_t kFirstLengthSymbol = 257;
+
+/// Bit codec tuning knobs (subset of CompressOptions).
+struct BitCodecConfig {
+  std::uint32_t tokens_per_subblock = 16;  // sequences per sub-block (§V)
+  unsigned codeword_limit = 10;            // CWL (§V-C)
+};
+
+/// Encodes a parsed block. Requires match lengths in [3, 258] and
+/// distances in [1, 32768] (the DEFLATE bucket domains).
+Bytes encode_block_bit(const lz77::TokenBlock& block, const BitCodecConfig& config);
+
+/// Decodes a payload back into sequences + literals. Each sub-block is
+/// decoded by a separate warp lane on the GPU; here the lanes run
+/// lock-step-equivalently in a loop. `metrics` (optional) counts decode
+/// table lookups. Throws gompresso::Error on corrupt payloads.
+lz77::TokenBlock decode_block_bit(ByteSpan payload, const BitCodecConfig& config);
+
+/// Decode-table on-chip footprint for one block (both tables), in bytes;
+/// the occupancy model in sim/ uses this (Fig. 12 discussion).
+std::size_t decode_tables_footprint(unsigned codeword_limit);
+
+}  // namespace gompresso::core

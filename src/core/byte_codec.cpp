@@ -1,0 +1,79 @@
+#include "core/byte_codec.hpp"
+
+#include <cstring>
+
+#include "util/varint.hpp"
+
+namespace gompresso::core {
+
+std::size_t max_encoded_size_byte(const lz77::TokenBlock& block) {
+  return 10 + block.sequences.size() * kByteRecordSize + block.literals.size();
+}
+
+std::uint32_t pack_record(const lz77::Sequence& s) {
+  check(s.literal_len <= kByteCodecMaxLiteralRun,
+        "byte codec: literal run exceeds record field (split at parse time)");
+  std::uint32_t len_field = 0;
+  std::uint32_t dist_field = 0;
+  if (s.match_len != 0) {
+    check(s.match_len >= 3 && s.match_len <= kByteCodecMaxMatch,
+          "byte codec: match length outside [3, 65]");
+    check(s.match_dist >= 1 && s.match_dist <= kByteCodecMaxDistance,
+          "byte codec: match distance outside [1, 8192]");
+    len_field = s.match_len - 2;
+    dist_field = s.match_dist - 1;
+  } else {
+    check(s.match_dist == 0, "byte codec: zero-length match with distance");
+  }
+  return s.literal_len | (len_field << 13) | (dist_field << 19);
+}
+
+lz77::Sequence unpack_record(std::uint32_t word) {
+  lz77::Sequence s;
+  s.literal_len = word & 0x1FFFu;
+  const std::uint32_t len_field = (word >> 13) & 0x3Fu;
+  const std::uint32_t dist_field = word >> 19;
+  if (len_field == 0) {
+    check(dist_field == 0, "byte codec: zero-length match with distance");
+    s.match_len = 0;
+    s.match_dist = 0;
+  } else {
+    s.match_len = len_field + 2;
+    s.match_dist = dist_field + 1;
+  }
+  return s;
+}
+
+Bytes encode_block_byte(const lz77::TokenBlock& block) {
+  Bytes out;
+  out.reserve(max_encoded_size_byte(block));
+  put_varint(out, block.sequences.size());
+  for (const auto& s : block.sequences) put_u32le(out, pack_record(s));
+  out.insert(out.end(), block.literals.begin(), block.literals.end());
+  return out;
+}
+
+lz77::TokenBlock decode_block_byte(ByteSpan payload) {
+  std::size_t pos = 0;
+  const std::uint64_t n_sequences = get_varint(payload, pos);
+  check(n_sequences > 0, "byte codec: empty block");
+  check(n_sequences <= (payload.size() - pos) / kByteRecordSize,
+        "byte codec: truncated record array");
+
+  lz77::TokenBlock block;
+  block.sequences.resize(static_cast<std::size_t>(n_sequences));
+  std::uint64_t total = 0;
+  std::uint64_t literal_total = 0;
+  for (auto& s : block.sequences) {
+    s = unpack_record(get_u32le(payload, pos));
+    total += s.literal_len + s.match_len;
+    literal_total += s.literal_len;
+  }
+  check(literal_total == payload.size() - pos, "byte codec: literal region size mismatch");
+  block.literals.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos), payload.end());
+  check(total <= 0xFFFFFFFFull, "byte codec: block too large");
+  block.uncompressed_size = static_cast<std::uint32_t>(total);
+  return block;
+}
+
+}  // namespace gompresso::core

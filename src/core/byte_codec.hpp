@@ -1,0 +1,56 @@
+// Gompresso/Byte block codec.
+//
+// "Gompresso/Byte can combine decoding and decompression in a single pass
+// because of its fixed-length byte-level coding scheme. The token streams
+// can be read directly from the compressed output." (paper §III-B)
+//
+// Block payload layout:
+//   varint  n_sequences
+//   records n_sequences * 4 bytes, little-endian packed:
+//             bits  0..12  literal_len          (0..8191)
+//             bits 13..18  match_len - 2        (1..63 -> len 3..65;
+//                                                0 = no back-reference)
+//             bits 19..31  match_dist - 1       (0..8191 -> dist 1..8192)
+//   bytes   literal region (concatenated literal strings, sequence order)
+//
+// The fixed-width records are what make lane-parallel reads possible: lane
+// i of a warp group loads record (group*32 + i) directly, with no
+// sequential scan — this is the "fixed-length byte-level coding" the
+// paper contrasts with LZ4's variable-length greedy tokens. The packing
+// requires window <= 8 KB and max match <= 65 (the paper's §V defaults
+// are 8 KB / 64) and literal runs <= 8191 (longer runs are split by the
+// parser, ParserOptions::max_literal_run). The 4-byte records are still
+// wider than LZ4's 1-3 byte tokens, which is why Gompresso/Byte trades
+// ratio for random access in Fig. 13.
+#pragma once
+
+#include <vector>
+
+#include "lz77/sequence.hpp"
+#include "util/common.hpp"
+
+namespace gompresso::core {
+
+inline constexpr std::size_t kByteRecordSize = 4;
+inline constexpr std::uint32_t kByteCodecMaxLiteralRun = 8191;
+inline constexpr std::uint32_t kByteCodecMaxMatch = 65;
+inline constexpr std::uint32_t kByteCodecMaxDistance = 8192;
+
+/// Serialises a parsed block. Requires literal_len <= 8191,
+/// match_len in {0} + [3, 65], match_dist <= 8192.
+Bytes encode_block_byte(const lz77::TokenBlock& block);
+
+/// Parses a payload back into sequences + literal bytes.
+/// Throws gompresso::Error on truncated or inconsistent payloads.
+lz77::TokenBlock decode_block_byte(ByteSpan payload);
+
+/// Upper bound on the encoded size of a block (for buffer reservations).
+std::size_t max_encoded_size_byte(const lz77::TokenBlock& block);
+
+/// Packs one sequence into the 4-byte record word (domain-checked).
+std::uint32_t pack_record(const lz77::Sequence& s);
+
+/// Unpacks a 4-byte record word (throws on a malformed word).
+lz77::Sequence unpack_record(std::uint32_t word);
+
+}  // namespace gompresso::core

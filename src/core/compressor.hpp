@@ -1,0 +1,33 @@
+// The Gompresso compressor: block-parallel LZ77 + entropy stage (§III-A).
+#pragma once
+
+#include "core/options.hpp"
+#include "lz77/parser.hpp"
+#include "util/common.hpp"
+
+namespace gompresso {
+
+/// Aggregate statistics from a compression run.
+struct CompressStats {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  std::uint64_t blocks = 0;
+  lz77::ParseStats parse;
+
+  double ratio() const {
+    return output_bytes == 0 ? 0.0
+                             : static_cast<double>(input_bytes) /
+                                   static_cast<double>(output_bytes);
+  }
+};
+
+/// Compresses `input` into a self-contained Gompresso file.
+///
+/// The input is split into `options.block_size` blocks that are
+/// LZ77-parsed and entropy-coded independently and in parallel; the file
+/// header records every block's compressed size so decompression can
+/// locate them without scanning (Fig. 3).
+Bytes compress(ByteSpan input, const CompressOptions& options = {},
+               CompressStats* stats = nullptr);
+
+}  // namespace gompresso

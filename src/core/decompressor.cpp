@@ -1,0 +1,116 @@
+#include "core/decompressor.hpp"
+
+#include <mutex>
+
+#include "core/bit_codec.hpp"
+#include "core/byte_codec.hpp"
+#include "core/tans_codec.hpp"
+#include "core/warp_lz77.hpp"
+#include "util/crc32.hpp"
+#include "util/thread_pool.hpp"
+#include "util/varint.hpp"
+
+namespace gompresso {
+
+DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
+  std::size_t pos = 0;
+  const format::FileHeader header = format::FileHeader::deserialize(file, pos);
+
+  Strategy strategy = options.strategy;
+  if (options.auto_strategy) {
+    strategy = header.dependency_elimination ? Strategy::kDependencyFree
+                                             : Strategy::kMultiRound;
+  } else if (strategy == Strategy::kDependencyFree) {
+    check(header.dependency_elimination,
+          "decompress: DE strategy requires a DE-compressed file");
+  }
+
+  // Locate every block payload from the size list (inter-block
+  // parallelism needs no scanning, Fig. 3).
+  const std::size_t num_blocks = header.num_blocks();
+  std::vector<std::size_t> offsets(num_blocks + 1);
+  offsets[0] = pos;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    offsets[b + 1] = offsets[b] + static_cast<std::size_t>(header.block_compressed_sizes[b]);
+  }
+  check(offsets[num_blocks] == file.size(), "decompress: file size mismatch");
+  check(header.block_size > 0, "decompress: zero block size");
+  check(num_blocks == div_ceil<std::uint64_t>(header.uncompressed_size, header.block_size),
+        "decompress: block count mismatch");
+
+  DecompressResult result;
+  result.strategy_used = strategy;
+  result.data.resize(static_cast<std::size_t>(header.uncompressed_size));
+
+  core::BitCodecConfig bit_config;
+  bit_config.tokens_per_subblock = header.tokens_per_subblock;
+  bit_config.codeword_limit = header.codeword_limit;
+
+  std::mutex metrics_mutex;
+
+  auto decompress_one = [&](std::size_t b) {
+    const ByteSpan payload_with_crc =
+        file.subspan(offsets[b], offsets[b + 1] - offsets[b]);
+    std::size_t p = 0;
+    const std::uint32_t stored_crc = get_u32le(payload_with_crc, p);
+    check(p < payload_with_crc.size(), "decompress: truncated block payload");
+    const std::uint8_t mode = payload_with_crc[p++];
+    const ByteSpan payload = payload_with_crc.subspan(p);
+
+    const std::size_t out_begin = b * header.block_size;
+    const std::size_t out_len = std::min<std::size_t>(
+        header.block_size, result.data.size() - out_begin);
+    const MutableByteSpan out_span(result.data.data() + out_begin, out_len);
+
+    simt::WarpMetrics block_metrics;
+    core::MultiPassStats block_multipass;
+    if (mode == kBlockModeStored) {
+      check(payload.size() == out_len, "decompress: stored block size mismatch");
+      std::copy(payload.begin(), payload.end(), out_span.begin());
+    } else {
+      check(mode == kBlockModeCoded, "decompress: unknown block mode");
+      // Phase 1: token decode (warp-parallel over sub-blocks for /Bit
+      // and /Tans).
+      core::TansCodecConfig tans_config;
+      tans_config.tokens_per_subblock = header.tokens_per_subblock;
+      const lz77::TokenBlock tokens =
+          header.codec == Codec::kByte  ? core::decode_block_byte(payload)
+          : header.codec == Codec::kBit ? core::decode_block_bit(payload, bit_config)
+                                        : core::decode_block_tans(payload, tans_config);
+      check(tokens.uncompressed_size == out_len, "decompress: block size mismatch");
+
+      // Phase 2: warp-parallel LZ77 resolution.
+      if (strategy == Strategy::kMultiPass) {
+        core::resolve_block_multipass(tokens.sequences, tokens.literals.data(),
+                                      tokens.literals.size(), out_span,
+                                      &block_multipass);
+      } else {
+        core::resolve_block(tokens.sequences, tokens.literals.data(),
+                            tokens.literals.size(), out_span, strategy,
+                            &block_metrics);
+      }
+    }
+
+    if (options.verify_checksums) {
+      check(crc32(ByteSpan(out_span.data(), out_span.size())) == stored_crc,
+            "decompress: block checksum mismatch (corrupt data)");
+    }
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex);
+      result.metrics.merge(block_metrics);
+      result.multipass.merge(block_multipass);
+    }
+  };
+
+  if (options.num_threads == 1) {
+    for (std::size_t b = 0; b < num_blocks; ++b) decompress_one(b);
+  } else if (options.num_threads == 0) {
+    default_pool().parallel_for(num_blocks, decompress_one);
+  } else {
+    ThreadPool pool(options.num_threads);
+    pool.parallel_for(num_blocks, decompress_one);
+  }
+  return result;
+}
+
+}  // namespace gompresso

@@ -1,0 +1,34 @@
+// The Gompresso decompressor: inter-block parallelism across worker
+// threads, intra-block parallelism via the warp engine (§III-B).
+#pragma once
+
+#include "core/mrr_multipass.hpp"
+#include "core/options.hpp"
+#include "simt/warp.hpp"
+#include "util/common.hpp"
+
+namespace gompresso {
+
+/// Result of a decompression run: the data plus the warp execution
+/// metrics used by the Fig. 9 benchmarks.
+struct DecompressResult {
+  Bytes data;
+  Strategy strategy_used = Strategy::kMultiRound;
+  simt::WarpMetrics metrics;
+  core::MultiPassStats multipass;  // populated only for kMultiPass
+};
+
+/// Decompresses a Gompresso file produced by gompresso::compress().
+///
+/// Strategy selection: with `options.auto_strategy` (default) DE files
+/// use the single-round dependency-free resolver and non-DE files use
+/// MRR. An explicit kDependencyFree request on a non-DE file throws,
+/// since such streams may contain intra-warp dependencies.
+DecompressResult decompress(ByteSpan file, const DecompressOptions& options = {});
+
+/// Convenience: decompress and return only the bytes.
+inline Bytes decompress_bytes(ByteSpan file, const DecompressOptions& options = {}) {
+  return decompress(file, options).data;
+}
+
+}  // namespace gompresso

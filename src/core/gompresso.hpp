@@ -1,0 +1,19 @@
+// Umbrella public header for the Gompresso library.
+//
+// Quickstart:
+//
+//   #include "core/gompresso.hpp"
+//
+//   gompresso::CompressOptions opt;            // paper §V defaults
+//   opt.codec = gompresso::Codec::kBit;        // or kByte
+//   gompresso::Bytes file = gompresso::compress(input, opt);
+//   gompresso::Bytes back = gompresso::decompress_bytes(file);
+//
+// See README.md for the architecture overview and DESIGN.md for the
+// paper-to-module map.
+#pragma once
+
+#include "core/compressor.hpp"    // IWYU pragma: export
+#include "core/decompressor.hpp"  // IWYU pragma: export
+#include "core/options.hpp"       // IWYU pragma: export
+#include "core/stream.hpp"        // IWYU pragma: export

@@ -1,0 +1,169 @@
+#include "core/mrr_multipass.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "simt/warp.hpp"
+
+namespace gompresso::core {
+namespace {
+
+/// One spilled (unresolved) back-reference in the worklist. 16 bytes, the
+/// unit of the variant's extra memory traffic.
+struct PendingRef {
+  std::uint64_t write_pos = 0;  // where the copy lands
+  std::uint32_t dist = 0;
+  std::uint32_t len = 0;
+};
+
+inline void copy_forward(std::uint8_t* out, std::uint64_t dst, std::uint64_t src,
+                         std::uint32_t len) {
+  if (dst - src >= len) {
+    std::memcpy(out + dst, out + src, len);
+  } else {
+    for (std::uint32_t i = 0; i < len; ++i) out[dst + i] = out[src + i];
+  }
+}
+
+}  // namespace
+
+void resolve_block_multipass(std::span<const lz77::Sequence> sequences,
+                             const std::uint8_t* literals, std::size_t literal_count,
+                             MutableByteSpan out, MultiPassStats* stats) {
+  // Pass 0 ("first kernel"): the warp walks its groups without ever
+  // stalling — all 32 lanes of a group run in lock step, write their
+  // literal strings, copy the back-references that are resolvable right
+  // now, and spill the rest to the (global-memory) worklist. A lane may
+  // rely on: output below the gap-free watermark, literal intervals of
+  // its *own* group (written in this group's literal phase), and its own
+  // forward copy. It may NOT rely on same-group back-reference output
+  // (the lanes are concurrent) nor on anything above the first spilled
+  // reference (tracking finer-grained availability is the "increased
+  // complexity" the paper cites against this variant).
+  std::vector<PendingRef> pending;
+  std::uint64_t lit_cursor = 0;
+  std::uint64_t out_cursor = 0;
+
+  const std::size_t n = sequences.size();
+  for (std::size_t first = 0; first < n; first += simt::kWarpSize) {
+    const unsigned lanes =
+        static_cast<unsigned>(std::min<std::size_t>(simt::kWarpSize, n - first));
+    const std::uint64_t group_base = out_cursor;
+
+    // Literal phase: all lanes write their literal strings.
+    simt::LaneArray<std::uint64_t> own_start{};
+    simt::LaneArray<std::uint64_t> write_pos{};
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      const lz77::Sequence& seq = sequences[first + lane];
+      check(lit_cursor + seq.literal_len <= literal_count,
+            "multipass: literal buffer overrun");
+      check(out_cursor + seq.literal_len + seq.match_len <= out.size(),
+            "multipass: output overrun");
+      std::memcpy(out.data() + out_cursor, literals + lit_cursor, seq.literal_len);
+      lit_cursor += seq.literal_len;
+      own_start[lane] = out_cursor;
+      out_cursor += seq.literal_len;
+      write_pos[lane] = out_cursor;
+      out_cursor += seq.match_len;
+    }
+
+    // Dependency tracking ("the increased complexity of tracking when a
+    // dependency can be resolved"): a source interval below the group
+    // base is available unless it intersects the output interval of a
+    // still-pending earlier reference. The pending list is ordered by
+    // write position and its intervals are disjoint, so a binary search
+    // suffices. Only earlier-group refs live in `pending` here — this
+    // group's spills land below only after the group completes (the
+    // capped range never reaches them).
+    auto intersects_pending = [&](std::uint64_t s, std::uint64_t e) {
+      if (s >= e) return false;
+      const auto it = std::partition_point(
+          pending.begin(), pending.end(),
+          [&](const PendingRef& r) { return r.write_pos + r.len <= s; });
+      return it != pending.end() && it->write_pos < e;
+    };
+
+    // Availability of the in-group part [group_base, src_end): literal
+    // intervals of this group plus the lane's own forward copy.
+    auto group_part_available = [&](unsigned lane, std::uint64_t src,
+                                    std::uint64_t src_end) {
+      std::uint64_t covered = std::max(src, group_base);
+      for (unsigned j = 0; j < lanes && covered < src_end; ++j) {
+        if (own_start[j] > covered) break;  // a back-ref output gap
+        if (covered < write_pos[j]) covered = write_pos[j];
+      }
+      if (covered >= src_end) return true;
+      return covered >= own_start[lane];  // remaining bytes: own forward copy
+    };
+
+    // Back-reference phase: copy or spill, in lock step.
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      const lz77::Sequence& seq = sequences[first + lane];
+      if (seq.match_len == 0) continue;
+      check(seq.match_dist >= 1 && seq.match_dist <= write_pos[lane],
+            "multipass: back-reference past start of output");
+      const std::uint64_t src = write_pos[lane] - seq.match_dist;
+      const std::uint64_t src_end = src + seq.match_len;
+      const bool resolvable =
+          !intersects_pending(src, std::min(src_end, group_base)) &&
+          (src_end <= group_base || src >= own_start[lane] ||
+           group_part_available(lane, src, src_end));
+      if (resolvable) {
+        copy_forward(out.data(), write_pos[lane], src, seq.match_len);
+      } else {
+        pending.push_back({write_pos[lane], seq.match_dist, seq.match_len});
+      }
+    }
+  }
+  check(out_cursor == out.size(), "multipass: output size mismatch");
+  check(lit_cursor == literal_count, "multipass: literal count mismatch");
+
+  if (stats) {
+    stats->passes = 1;
+    stats->spilled_refs += pending.size();
+    stats->spilled_bytes += pending.size() * sizeof(PendingRef);
+  }
+
+  // Later passes ("separate kernels"): sweep the worklist in write-
+  // position order. Pass 0 appended refs in that order, so during the
+  // sweep everything below the first still-unresolved reference is
+  // gap-free; unlike MRR, chains are not capped at the warp width and a
+  // block-long chain resolves link by link within the sweep. On the GPU
+  // this is where the variant loses: every link is a device-memory
+  // round-trip (read the spilled ref, check availability, write the
+  // copy) instead of a register-resident warp round — the "overhead of
+  // writing to and reading from memory, together with the increased
+  // complexity of tracking when a dependency can be resolved" that made
+  // the paper reject the design. MultiPassStats carries the traffic so
+  // the K40 model can charge it.
+  while (!pending.empty()) {
+    if (stats) ++stats->passes;
+    std::vector<PendingRef> next;
+    std::size_t resolved = 0;
+    for (const auto& ref : pending) {
+      // Gap-free watermark: the first reference that is still unresolved
+      // after this sweep's progress so far.
+      const std::uint64_t watermark = next.empty() ? ref.write_pos : next.front().write_pos;
+      const std::uint64_t src = ref.write_pos - ref.dist;
+      const std::uint64_t src_end = src + ref.len;
+      // (The lane's literal start is no longer known after the spill —
+      // tracking complexity — so the self-overlap clause degrades to
+      // write_pos <= watermark.)
+      const bool resolvable = src_end <= watermark || ref.write_pos <= watermark;
+      if (resolvable) {
+        copy_forward(out.data(), ref.write_pos, src, ref.len);
+        ++resolved;
+      } else {
+        next.push_back(ref);
+      }
+    }
+    check(resolved != 0, "multipass: no progress");
+    if (stats) {
+      stats->spilled_bytes += next.size() * sizeof(PendingRef);  // re-read + re-write
+    }
+    pending.swap(next);
+  }
+}
+
+}  // namespace gompresso::core

@@ -1,0 +1,111 @@
+#include "core/stream.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "core/compressor.hpp"
+#include "core/decompressor.hpp"
+#include "util/varint.hpp"
+
+namespace gompresso {
+namespace {
+
+constexpr std::uint32_t kStreamMagic = 0x53504D47u;  // "GMPS"
+
+void write_bytes(std::ostream& out, ByteSpan data) {
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  check(out.good(), "stream: write failed");
+}
+
+/// Reads one varint directly from a stream (byte at a time).
+std::uint64_t read_varint(std::istream& in) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (true) {
+    const int c = in.get();
+    check(c != std::char_traits<char>::eof(), "stream: truncated varint");
+    check(shift < 64, "stream: varint too long");
+    v |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+std::uint64_t compress_stream(std::istream& in, std::ostream& out,
+                              const CompressOptions& options,
+                              std::size_t chunk_size) {
+  check(chunk_size >= options.block_size, "stream: chunk smaller than a block");
+  Bytes magic;
+  put_u32le(magic, kStreamMagic);
+  write_bytes(out, magic);
+
+  std::uint64_t total = 0;
+  Bytes chunk(chunk_size);
+  while (in.good()) {
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(chunk.size()));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    total += got;
+    const Bytes segment = compress(ByteSpan(chunk.data(), got), options);
+    Bytes framing;
+    put_varint(framing, segment.size());
+    write_bytes(out, framing);
+    write_bytes(out, segment);
+  }
+  check(in.eof() || in.good(), "stream: read failed");
+  out.put(0);  // zero-length terminator
+  check(out.good(), "stream: write failed");
+  return total;
+}
+
+std::uint64_t decompress_stream(std::istream& in, std::ostream& out,
+                                const DecompressOptions& options) {
+  Bytes magic(4);
+  in.read(reinterpret_cast<char*>(magic.data()), 4);
+  check(in.gcount() == 4, "stream: truncated magic");
+  std::size_t pos = 0;
+  check(get_u32le(magic, pos) == kStreamMagic, "stream: bad magic");
+
+  std::uint64_t total = 0;
+  while (true) {
+    const std::uint64_t segment_size = read_varint(in);
+    if (segment_size == 0) break;  // terminator
+    check(segment_size <= (1ull << 40), "stream: implausible segment size");
+    Bytes segment(static_cast<std::size_t>(segment_size));
+    in.read(reinterpret_cast<char*>(segment.data()),
+            static_cast<std::streamsize>(segment.size()));
+    check(static_cast<std::uint64_t>(in.gcount()) == segment_size,
+          "stream: truncated segment");
+    const Bytes data = decompress(segment, options).data;
+    write_bytes(out, data);
+    total += data.size();
+  }
+  return total;
+}
+
+std::uint64_t compress_file(const std::string& input_path,
+                            const std::string& output_path,
+                            const CompressOptions& options, std::size_t chunk_size) {
+  std::ifstream in(input_path, std::ios::binary);
+  check(in.good(), "stream: cannot open input file");
+  std::ofstream out(output_path, std::ios::binary);
+  check(out.good(), "stream: cannot open output file");
+  return compress_stream(in, out, options, chunk_size);
+}
+
+std::uint64_t decompress_file(const std::string& input_path,
+                              const std::string& output_path,
+                              const DecompressOptions& options) {
+  std::ifstream in(input_path, std::ios::binary);
+  check(in.good(), "stream: cannot open input file");
+  std::ofstream out(output_path, std::ios::binary);
+  check(out.good(), "stream: cannot open output file");
+  return decompress_stream(in, out, options);
+}
+
+}  // namespace gompresso

@@ -1,0 +1,49 @@
+// Bounded-memory streaming over the Gompresso container.
+//
+// A stream is a sequence of self-contained Gompresso segments, each
+// compressing one chunk of the input. Compression never holds more than
+// one chunk (plus its compressed form) in memory, which is how a
+// production deployment would feed multi-gigabyte files like the paper's
+// 1 GB Wikipedia dump through the codec. Segments preserve all
+// parallelism properties (each segment is a normal block-parallel
+// container).
+//
+// Stream layout:
+//   u32le  magic "GMPS"
+//   per segment: varint compressed_size, then the Gompresso container
+//   varint 0 terminator
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+
+#include "core/options.hpp"
+#include "util/common.hpp"
+
+namespace gompresso {
+
+/// Default chunk: large enough to amortise per-segment headers, small
+/// enough to bound memory (§V uses 256 KB blocks; 64 MiB ≈ 256 blocks).
+inline constexpr std::size_t kDefaultChunkSize = 64 * 1024 * 1024;
+
+/// Compresses `in` to `out` as a Gompresso stream. Returns the number of
+/// uncompressed bytes consumed. Throws gompresso::Error on I/O failure.
+std::uint64_t compress_stream(std::istream& in, std::ostream& out,
+                              const CompressOptions& options = {},
+                              std::size_t chunk_size = kDefaultChunkSize);
+
+/// Decompresses a Gompresso stream from `in` to `out`. Returns the
+/// number of uncompressed bytes produced.
+std::uint64_t decompress_stream(std::istream& in, std::ostream& out,
+                                const DecompressOptions& options = {});
+
+/// Convenience: file-path front ends.
+std::uint64_t compress_file(const std::string& input_path,
+                            const std::string& output_path,
+                            const CompressOptions& options = {},
+                            std::size_t chunk_size = kDefaultChunkSize);
+std::uint64_t decompress_file(const std::string& input_path,
+                              const std::string& output_path,
+                              const DecompressOptions& options = {});
+
+}  // namespace gompresso

@@ -1,0 +1,160 @@
+#include "core/tans_codec.hpp"
+
+#include <vector>
+
+#include "ans/tans.hpp"
+#include "core/byte_codec.hpp"
+#include "util/varint.hpp"
+
+namespace gompresso::core {
+namespace {
+
+struct SubblockInfo {
+  std::uint32_t n_sequences = 0;
+  std::uint32_t n_literals = 0;
+  std::uint64_t record_bytes = 0;   // encoded record-stream size
+  std::uint64_t literal_bytes = 0;  // encoded literal-stream size
+};
+
+/// Serialises a sub-block's records as packed little-endian words.
+Bytes pack_records(const lz77::Sequence* seqs, std::size_t count) {
+  Bytes raw;
+  raw.reserve(count * kByteRecordSize);
+  for (std::size_t i = 0; i < count; ++i) put_u32le(raw, pack_record(seqs[i]));
+  return raw;
+}
+
+}  // namespace
+
+Bytes encode_block_tans(const lz77::TokenBlock& block, const TansCodecConfig& config) {
+  check(config.tokens_per_subblock >= 1, "tans codec: tokens_per_subblock must be >= 1");
+  check(!block.sequences.empty(), "tans codec: empty block");
+
+  // Block-wide histograms -> the two shared models (§III-B.1 analogue).
+  std::vector<std::uint64_t> record_freqs(256, 0);
+  {
+    const Bytes all_records = pack_records(block.sequences.data(), block.sequences.size());
+    for (const auto b : all_records) ++record_freqs[b];
+  }
+  const ans::Model record_model =
+      ans::Model::from_frequencies(record_freqs, config.table_log);
+  ans::Model literal_model;
+  if (!block.literals.empty()) {
+    std::vector<std::uint64_t> literal_freqs(256, 0);
+    for (const auto b : block.literals) ++literal_freqs[b];
+    literal_model = ans::Model::from_frequencies(literal_freqs, config.table_log);
+  }
+
+  // Per sub-block: encode the record words and the literal slab as
+  // independent streams against the shared models.
+  std::vector<SubblockInfo> table;
+  std::vector<Bytes> streams;
+  const std::size_t n_seq = block.sequences.size();
+  const std::uint8_t* lit = block.literals.data();
+  std::size_t seq_index = 0;
+  while (seq_index < n_seq) {
+    SubblockInfo info;
+    const std::size_t count =
+        std::min<std::size_t>(config.tokens_per_subblock, n_seq - seq_index);
+    info.n_sequences = static_cast<std::uint32_t>(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      info.n_literals += block.sequences[seq_index + k].literal_len;
+    }
+    const Bytes raw_records = pack_records(block.sequences.data() + seq_index, count);
+    Bytes rec_stream = record_model.encode_stream(raw_records);
+    info.record_bytes = rec_stream.size();
+    Bytes lit_stream;
+    if (info.n_literals != 0) {
+      lit_stream = literal_model.encode_stream(ByteSpan(lit, info.n_literals));
+    }
+    info.literal_bytes = lit_stream.size();
+    lit += info.n_literals;
+    table.push_back(info);
+    streams.push_back(std::move(rec_stream));
+    streams.push_back(std::move(lit_stream));
+    seq_index += count;
+  }
+
+  Bytes out;
+  put_varint(out, n_seq);
+  put_varint(out, block.literals.size());
+  put_varint(out, table.size());
+  record_model.serialize(out);
+  if (!block.literals.empty()) literal_model.serialize(out);
+  for (const auto& info : table) {
+    put_varint(out, info.n_sequences);
+    put_varint(out, info.n_literals);
+    put_varint(out, info.record_bytes);
+    put_varint(out, info.literal_bytes);
+  }
+  for (const auto& s : streams) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+lz77::TokenBlock decode_block_tans(ByteSpan payload, const TansCodecConfig& config) {
+  (void)config;  // models are self-describing; the config shapes encoding only
+  std::size_t pos = 0;
+  const std::uint64_t n_seq = get_varint(payload, pos);
+  const std::uint64_t n_literals = get_varint(payload, pos);
+  const std::uint64_t n_subblocks = get_varint(payload, pos);
+  check(n_seq > 0, "tans codec: empty block");
+  check(n_subblocks > 0 && n_subblocks <= n_seq, "tans codec: bad sub-block count");
+
+  const ans::Model record_model = ans::Model::deserialize(payload, pos);
+  ans::Model literal_model;
+  if (n_literals > 0) literal_model = ans::Model::deserialize(payload, pos);
+
+  std::vector<SubblockInfo> table(static_cast<std::size_t>(n_subblocks));
+  std::uint64_t seq_total = 0, lit_total = 0;
+  for (auto& info : table) {
+    info.n_sequences = static_cast<std::uint32_t>(get_varint(payload, pos));
+    info.n_literals = static_cast<std::uint32_t>(get_varint(payload, pos));
+    info.record_bytes = get_varint(payload, pos);
+    info.literal_bytes = get_varint(payload, pos);
+    seq_total += info.n_sequences;
+    lit_total += info.n_literals;
+  }
+  check(seq_total == n_seq, "tans codec: sub-block sequence counts disagree");
+  check(lit_total == n_literals, "tans codec: sub-block literal counts disagree");
+
+  lz77::TokenBlock block;
+  block.sequences.resize(static_cast<std::size_t>(n_seq));
+  block.literals.resize(static_cast<std::size_t>(n_literals));
+
+  // Lane-parallel decode: every sub-block's streams and output slots are
+  // known up front, so lanes are independent (executed as a loop here).
+  std::size_t seq_base = 0;
+  std::size_t lit_base = 0;
+  for (const auto& info : table) {
+    check(pos + info.record_bytes + info.literal_bytes <= payload.size(),
+          "tans codec: truncated streams");
+    const Bytes raw_records = record_model.decode_stream(
+        payload.subspan(pos, static_cast<std::size_t>(info.record_bytes)),
+        info.n_sequences * kByteRecordSize);
+    pos += static_cast<std::size_t>(info.record_bytes);
+    std::size_t rp = 0;
+    for (std::uint32_t k = 0; k < info.n_sequences; ++k) {
+      block.sequences[seq_base + k] = unpack_record(get_u32le(raw_records, rp));
+    }
+    std::uint64_t sub_lits = 0;
+    for (std::uint32_t k = 0; k < info.n_sequences; ++k) {
+      sub_lits += block.sequences[seq_base + k].literal_len;
+    }
+    check(sub_lits == info.n_literals, "tans codec: literal count mismatch");
+    if (info.n_literals != 0) {
+      const Bytes lits = literal_model.decode_stream(
+          payload.subspan(pos, static_cast<std::size_t>(info.literal_bytes)),
+          info.n_literals);
+      std::copy(lits.begin(), lits.end(),
+                block.literals.begin() + static_cast<std::ptrdiff_t>(lit_base));
+    }
+    pos += static_cast<std::size_t>(info.literal_bytes);
+    seq_base += info.n_sequences;
+    lit_base += info.n_literals;
+  }
+  check(pos == payload.size(), "tans codec: trailing bytes in payload");
+  block.uncompressed_size = block.computed_size();
+  return block;
+}
+
+}  // namespace gompresso::core

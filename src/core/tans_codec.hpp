@@ -1,0 +1,47 @@
+// Gompresso/Tans block codec — the paper's future work, implemented.
+//
+// "Future work includes determining the extent to which our techniques
+// can be applied to alternative coding and context-based compression
+// schemes, and evaluating their performance." (§VI)
+//
+// This codec keeps Gompresso's parallel-decode architecture and swaps the
+// entropy stage: instead of two Huffman trees, each block carries two
+// shared tANS models (one over the packed sequence-record bytes, one over
+// the literal bytes), and every sub-block is an independently decodable
+// pair of tANS streams. Decoder lanes decode sub-blocks in parallel
+// exactly as in §III-B.1 — same shared-table idea, same sub-block size
+// lists, different coder. Zstd's FSE demonstrates this coder class is
+// "typically faster than Huffman decoding" (§V-D), which is what makes
+// the variant interesting.
+//
+// Block payload layout:
+//   varint  n_sequences, n_literals, n_subblocks
+//   bytes   record model (ans::Model, gap-coded normalized counts)
+//   bytes   literal model (present iff n_literals > 0)
+//   per sub-block: varint n_seqs, n_lits, record_stream_size,
+//                  literal_stream_size
+//   bytes   per sub-block: record stream, then literal stream
+//
+// Records use the same 4-byte packing as Gompresso/Byte (window <= 8 KB,
+// match <= 65, literal runs split at 8191).
+#pragma once
+
+#include "lz77/sequence.hpp"
+#include "util/common.hpp"
+
+namespace gompresso::core {
+
+/// Tans codec tuning knobs.
+struct TansCodecConfig {
+  std::uint32_t tokens_per_subblock = 16;
+  unsigned table_log = 11;  // 2^11-state tables (2 KB decode table each)
+};
+
+/// Serialises a parsed block (domain limits as per Gompresso/Byte).
+Bytes encode_block_tans(const lz77::TokenBlock& block, const TansCodecConfig& config);
+
+/// Decodes a payload back into sequences + literals; each sub-block is an
+/// independent lane's work. Throws gompresso::Error on corrupt payloads.
+lz77::TokenBlock decode_block_tans(ByteSpan payload, const TansCodecConfig& config);
+
+}  // namespace gompresso::core

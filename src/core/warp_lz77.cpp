@@ -1,0 +1,251 @@
+#include "core/warp_lz77.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gompresso::core {
+namespace {
+
+using simt::kWarpSize;
+using simt::LaneArray;
+using simt::LaneMask;
+
+/// Copies `len` bytes within `out` from `src` to `dst` (dst > src).
+/// Overlapping regions (dst - src < len) are replicated byte-wise forward,
+/// the LZ77 run semantics.
+inline void copy_backref(std::uint8_t* out, std::uint64_t dst, std::uint64_t src,
+                         std::uint32_t len) {
+  const std::uint64_t dist = dst - src;
+  if (dist >= len) {
+    std::memcpy(out + dst, out + src, len);
+  } else if (dist == 1) {
+    std::memset(out + dst, out[src], len);
+  } else {
+    for (std::uint32_t i = 0; i < len; ++i) out[dst + i] = out[src + i];
+  }
+}
+
+/// Per-group lane state, loaded once per 32-sequence group.
+struct GroupState {
+  LaneArray<std::uint32_t> literal_len{};
+  LaneArray<std::uint32_t> match_len{};
+  LaneArray<std::uint32_t> match_dist{};
+  LaneArray<std::uint64_t> literal_src{};  // offset into the literal buffer
+  LaneArray<std::uint64_t> out_start{};    // output offset of the literal string
+  LaneArray<std::uint64_t> write_pos{};    // output offset of the back-reference
+  unsigned lanes = 0;                      // active lanes (last group may be short)
+  std::uint64_t group_out_base = 0;        // output offset where the group starts
+  std::uint64_t group_out_end = 0;         // output offset just past the group
+};
+
+/// Step (a) + (b): load sequences, run the two exclusive prefix sums, and
+/// copy the literal strings of every active lane.
+GroupState prepare_group(std::span<const lz77::Sequence> sequences, std::size_t first,
+                         const std::uint8_t* literals, std::uint64_t literal_base,
+                         std::uint64_t out_base, MutableByteSpan out,
+                         simt::WarpMetrics* metrics) {
+  GroupState g;
+  g.lanes = static_cast<unsigned>(std::min<std::size_t>(kWarpSize, sequences.size() - first));
+  g.group_out_base = out_base;
+
+  LaneArray<std::uint64_t> lit_sizes{};
+  LaneArray<std::uint64_t> total_sizes{};
+  for (unsigned lane = 0; lane < g.lanes; ++lane) {
+    const lz77::Sequence& s = sequences[first + lane];
+    g.literal_len[lane] = s.literal_len;
+    g.match_len[lane] = s.match_len;
+    g.match_dist[lane] = s.match_dist;
+    lit_sizes[lane] = s.literal_len;
+    total_sizes[lane] = static_cast<std::uint64_t>(s.literal_len) + s.match_len;
+  }
+  // First prefix sum: literal source offsets within the token stream.
+  const auto lit_offsets = simt::exclusive_scan(lit_sizes);
+  // Second prefix sum: output write offsets.
+  const auto out_offsets = simt::exclusive_scan(total_sizes);
+  if (metrics) metrics->shuffles += 2 * 5;  // two 5-step shfl_up scans
+
+  for (unsigned lane = 0; lane < g.lanes; ++lane) {
+    g.literal_src[lane] = literal_base + lit_offsets[lane];
+    g.out_start[lane] = out_base + out_offsets[lane];
+    g.write_pos[lane] = g.out_start[lane] + g.literal_len[lane];
+  }
+  const unsigned last = g.lanes - 1;
+  g.group_out_end = g.out_start[last] + g.literal_len[last] + g.match_len[last];
+  check(g.group_out_end <= out.size(), "warp_lz77: output overrun");
+
+  // Copy the literal strings. On the GPU all lanes proceed concurrently;
+  // there are no inter-lane dependencies in this phase.
+  for (unsigned lane = 0; lane < g.lanes; ++lane) {
+    if (g.literal_len[lane] == 0) continue;
+    std::memcpy(out.data() + g.out_start[lane], literals + g.literal_src[lane],
+                g.literal_len[lane]);
+  }
+  return g;
+}
+
+/// Validates one lane's back-reference bounds before any copy.
+inline void check_backref(const GroupState& g, unsigned lane) {
+  check(g.match_dist[lane] >= 1 && g.match_dist[lane] <= g.write_pos[lane],
+        "warp_lz77: back-reference past start of output");
+}
+
+/// Strategy SC: back-references resolved strictly in lane order.
+void resolve_group_sc(const GroupState& g, MutableByteSpan out) {
+  for (unsigned lane = 0; lane < g.lanes; ++lane) {
+    if (g.match_len[lane] == 0) continue;
+    check_backref(g, lane);
+    copy_backref(out.data(), g.write_pos[lane], g.write_pos[lane] - g.match_dist[lane],
+                 g.match_len[lane]);
+  }
+}
+
+/// Strategy MRR (Fig. 5): iterative resolution driven by warp votes and a
+/// high-water mark broadcast.
+void resolve_group_mrr(const GroupState& g, MutableByteSpan out,
+                       simt::WarpMetrics* metrics) {
+  LaneArray<bool> pending{};
+  LaneMask active = 0;
+  for (unsigned lane = 0; lane < g.lanes; ++lane) {
+    pending[lane] = g.match_len[lane] != 0;
+    active |= 1u << lane;
+    if (pending[lane]) check_backref(g, lane);
+  }
+
+  std::uint64_t hwm = g.group_out_base;  // all previous groups fully resolved
+  std::uint64_t round = 0;
+  LaneMask votes = simt::ballot(pending, active);
+  if (metrics) ++metrics->ballots;
+
+  while (votes != 0) {
+    ++round;
+    std::uint64_t bytes_this_round = 0;
+    std::uint64_t refs_this_round = 0;
+    for (unsigned lane = 0; lane < g.lanes; ++lane) {
+      if (!pending[lane]) continue;
+      const std::uint64_t src = g.write_pos[lane] - g.match_dist[lane];
+      const std::uint64_t src_end = src + g.match_len[lane];
+      const std::uint64_t own = g.out_start[lane];
+      const bool resolvable = src_end <= hwm || src >= own || own <= hwm;
+      if (resolvable) {
+        copy_backref(out.data(), g.write_pos[lane], src, g.match_len[lane]);
+        pending[lane] = false;  // Fig. 5 line 6
+        bytes_this_round += g.match_len[lane];
+        ++refs_this_round;
+      }
+    }
+    // Fig. 5 lines 8-10: vote, find the last gap-free writer, broadcast
+    // the new HWM.
+    votes = simt::ballot(pending, active);
+    if (metrics) ++metrics->ballots;
+    const unsigned prefix = simt::completed_prefix(votes);
+    if (prefix >= g.lanes) {
+      hwm = g.group_out_end;
+    } else {
+      // The first pending lane's literals are written; output is gap-free
+      // up to its back-reference write position.
+      hwm = std::max(hwm, g.write_pos[prefix]);
+    }
+    if (metrics) {
+      ++metrics->shuffles;  // the HWM broadcast
+      metrics->record_round(round, bytes_this_round, refs_this_round);
+    }
+    check(refs_this_round != 0 || votes == 0, "warp_lz77: MRR made no progress");
+  }
+  if (metrics) {
+    ++metrics->groups;
+    metrics->rounds += round;
+    metrics->max_rounds_in_group = std::max(metrics->max_rounds_in_group, round);
+  }
+}
+
+/// True when every byte of [src, src_end) is safe to read in a single
+/// round for `lane`: below the group base (earlier groups are fully
+/// resolved), inside some lane's literal interval (all literals are
+/// written before the back-reference phase), or at/after the lane's own
+/// literal start (forward self-copy).
+bool de_source_available(const GroupState& g, unsigned lane, std::uint64_t src,
+                         std::uint64_t src_end) {
+  std::uint64_t covered = src;
+  if (covered < g.group_out_base) covered = g.group_out_base;
+  // Literal intervals are [out_start[j], write_pos[j]), ascending in j.
+  for (unsigned j = 0; j < g.lanes && covered < src_end; ++j) {
+    if (g.out_start[j] > covered) break;  // gap: covered byte is a match output
+    if (covered < g.write_pos[j]) covered = g.write_pos[j];
+  }
+  if (covered >= src_end) return true;
+  // Remaining bytes must be the lane's own output (self-overlap).
+  return covered >= g.out_start[lane];
+}
+
+/// Strategy DE: the stream was compressed with dependency elimination, so
+/// no back-reference depends on another back-reference of the same warp
+/// group; a single round suffices and no voting is needed.
+void resolve_group_de(const GroupState& g, MutableByteSpan out,
+                      simt::WarpMetrics* metrics) {
+  std::uint64_t bytes = 0;
+  std::uint64_t refs = 0;
+  for (unsigned lane = 0; lane < g.lanes; ++lane) {
+    if (g.match_len[lane] == 0) continue;
+    check_backref(g, lane);
+    const std::uint64_t src = g.write_pos[lane] - g.match_dist[lane];
+    const std::uint64_t src_end = src + g.match_len[lane];
+    // DE invariant (Fig. 7): the source may touch earlier groups' output
+    // and this group's literal regions, but never another lane's
+    // back-reference output.
+    check(src_end <= g.group_out_base || src >= g.out_start[lane] ||
+              de_source_available(g, lane, src, src_end),
+          "warp_lz77: DE strategy on a stream with intra-group dependencies");
+    copy_backref(out.data(), g.write_pos[lane], src, g.match_len[lane]);
+    bytes += g.match_len[lane];
+    ++refs;
+  }
+  if (metrics) {
+    ++metrics->groups;
+    ++metrics->rounds;
+    metrics->record_round(1, bytes, refs);
+    metrics->max_rounds_in_group = std::max<std::uint64_t>(metrics->max_rounds_in_group, 1);
+  }
+}
+
+}  // namespace
+
+void resolve_block(std::span<const lz77::Sequence> sequences,
+                   const std::uint8_t* literals, std::size_t literal_count,
+                   MutableByteSpan out, Strategy strategy, simt::WarpMetrics* metrics) {
+  std::uint64_t literal_base = 0;
+  std::uint64_t out_base = 0;
+  for (std::size_t first = 0; first < sequences.size(); first += kWarpSize) {
+    GroupState g = prepare_group(sequences, first, literals, literal_base, out_base,
+                                 out, metrics);
+    // Literal source bounds check (all lanes read below literal_count).
+    const unsigned last = g.lanes - 1;
+    check(g.literal_src[last] + g.literal_len[last] <= literal_count,
+          "warp_lz77: literal buffer overrun");
+    switch (strategy) {
+      case Strategy::kSequentialCopy:
+        resolve_group_sc(g, out);
+        if (metrics) {
+          ++metrics->groups;
+          // SC serialises the copies: one "round" per active back-reference.
+          for (unsigned lane = 0; lane < g.lanes; ++lane) {
+            if (g.match_len[lane] != 0) ++metrics->rounds;
+          }
+        }
+        break;
+      case Strategy::kMultiRound:
+        resolve_group_mrr(g, out, metrics);
+        break;
+      case Strategy::kDependencyFree:
+        resolve_group_de(g, out, metrics);
+        break;
+      case Strategy::kMultiPass:
+        throw Error("warp_lz77: kMultiPass is handled by mrr_multipass");
+    }
+    literal_base = g.literal_src[last] + g.literal_len[last];
+    out_base = g.group_out_end;
+  }
+  check(out_base == out.size(), "warp_lz77: output size mismatch");
+  check(literal_base == literal_count, "warp_lz77: literal count mismatch");
+}
+
+}  // namespace gompresso::core

@@ -1,0 +1,50 @@
+// Warp-parallel LZ77 back-reference resolution (paper §III-B.2 and §IV).
+//
+// Each data block is assigned to a single warp; the warp walks the
+// block's sequences in groups of 32, one sequence per lane (Fig. 4). For
+// every group the lanes:
+//   (a) read their sequences and locate their literal strings via an
+//       intra-warp exclusive prefix sum over literal lengths,
+//   (b) locate their output positions via a second exclusive prefix sum
+//       over (literal length + match length) and copy the literal strings,
+//   (c) resolve their back-references using the configured strategy:
+//       SC   — sequential, lane order (the paper's baseline),
+//       MRR  — Fig. 5's iterative ballot/HWM algorithm,
+//       DE   — single round (valid only for DE-compressed streams).
+//
+// Resolvability rule (MRR): a back-reference with source interval
+// [src, src+len) and own output start `own` is safe to copy forward when
+//     src+len <= HWM        (source fully below the gap-free high-water mark)
+//  or src >= own            (pure self-reference: reads only bytes this
+//                            lane itself wrote or is writing)
+//  or own <= HWM            (everything before this lane is gap-free, so
+//                            reads below `own` are written and reads at or
+//                            above `own` are the lane's own forward copy).
+// The third clause covers matches that begin below the lane's output but
+// overlap its own region (dist < len with dist > literal_len); Fig. 5
+// elides it, but any LZ77 stream with RLE-style runs requires it.
+#pragma once
+
+#include <span>
+
+#include "core/options.hpp"
+#include "lz77/sequence.hpp"
+#include "simt/warp.hpp"
+#include "util/common.hpp"
+
+namespace gompresso::core {
+
+/// Resolves all sequences of one block into `out`.
+///
+/// `sequences` and `literals` describe the block's token stream; `out`
+/// must be pre-sized to exactly the block's uncompressed size. `metrics`
+/// (optional) accumulates warp rounds / bytes-per-round for Fig. 9b/9c.
+///
+/// Throws gompresso::Error on malformed sequences (bad distance, output
+/// overrun) and on a DE-strategy stream that is not dependency-free.
+void resolve_block(std::span<const lz77::Sequence> sequences,
+                   const std::uint8_t* literals, std::size_t literal_count,
+                   MutableByteSpan out, Strategy strategy,
+                   simt::WarpMetrics* metrics = nullptr);
+
+}  // namespace gompresso::core

@@ -1,0 +1,30 @@
+#include "datagen/datasets.hpp"
+
+#include "util/rng.hpp"
+
+namespace gompresso::datagen {
+
+Bytes wikipedia(std::size_t size) { return make_wikipedia_xml(size); }
+
+Bytes matrix(std::size_t size) { return make_matrix_market(size); }
+
+Bytes random_bytes(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(size);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    const std::uint64_t v = rng.next_u64();
+    for (std::size_t k = 0; k < 8; ++k) out[i + k] = static_cast<std::uint8_t>(v >> (8 * k));
+  }
+  for (; i < size; ++i) out[i] = static_cast<std::uint8_t>(rng.next_u32());
+  return out;
+}
+
+Bytes by_name(const std::string& name, std::size_t size) {
+  if (name == "wikipedia" || name == "wiki") return wikipedia(size);
+  if (name == "matrix") return matrix(size);
+  if (name == "random") return random_bytes(size);
+  throw Error("unknown dataset: " + name);
+}
+
+}  // namespace gompresso::datagen

@@ -1,0 +1,31 @@
+// Named benchmark datasets: the paper's two evaluation inputs (§V) plus
+// helpers, at sizes scaled to this machine. Generation is deterministic.
+#pragma once
+
+#include <string>
+
+#include "datagen/matrix_market.hpp"
+#include "datagen/nesting.hpp"
+#include "datagen/zipf_text.hpp"
+#include "util/common.hpp"
+
+namespace gompresso::datagen {
+
+/// Default benchmark dataset size. The paper uses 1 GB / 0.77 GB files;
+/// this container has one vCPU and the compression ratios of both
+/// generators are size-stable, so the benches default to 16 MiB.
+inline constexpr std::size_t kDefaultBenchSize = 16 * 1024 * 1024;
+
+/// The "English Wikipedia" stand-in (§V dataset 1).
+Bytes wikipedia(std::size_t size = kDefaultBenchSize);
+
+/// The "Sparse Matrix" (Hollywood-2009) stand-in (§V dataset 2).
+Bytes matrix(std::size_t size = kDefaultBenchSize);
+
+/// Uniform random bytes (incompressible control).
+Bytes random_bytes(std::size_t size, std::uint64_t seed = 42);
+
+/// Dataset by name ("wikipedia", "matrix", "random") for CLI tools.
+Bytes by_name(const std::string& name, std::size_t size = kDefaultBenchSize);
+
+}  // namespace gompresso::datagen

@@ -1,0 +1,63 @@
+#include "datagen/nesting.hpp"
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gompresso::datagen {
+
+Bytes make_nesting(std::size_t size, const NestingConfig& config) {
+  check(config.families >= 1 && config.families <= 32, "nesting: families in [1, 32]");
+  check(config.string_len >= 8 && config.string_len <= 64, "nesting: string_len in [8, 64]");
+  Rng rng(config.seed);
+
+  // Family base strings use bytes from [0x40, 0xFF]; separators come from
+  // the disjoint set [0x20, 0x3F] and rotate so separator+prefix trigrams
+  // never repeat at short range.
+  std::vector<Bytes> family(config.families, Bytes(config.string_len));
+  for (auto& f : family) {
+    for (auto& b : f) b = static_cast<std::uint8_t>(0x40 + rng.next_below(0xC0));
+  }
+  // Per-family mutation counters: occurrence j mutates the front (j even)
+  // or the back (j odd) of its string.
+  //
+  // Adaptation note: the paper mutates a single byte, which suffices for
+  // its exhaustive matcher. Gompresso's trigram-hash matcher would anchor
+  // a match at the mutated byte itself whenever the same byte value
+  // recurs within the 8 KB window (192 possible values vs ~480
+  // occurrences in a window — pigeonhole guarantees recurrences),
+  // producing occasional far back-references that dilute the intended
+  // chain. Mutating a two-byte field (181^2 distinct values, unique
+  // within any window) removes those accidental anchors while preserving
+  // the construction: every match still chains to the previous occurrence
+  // of its own family.
+  std::vector<std::uint64_t> occurrence(config.families, 0);
+  std::uint64_t mutation_counter = 1;
+
+  Bytes out;
+  out.reserve(size + 64);
+  std::uint64_t t = 0;  // global occurrence counter (round-robin family)
+  while (out.size() < size) {
+    const std::uint32_t f = static_cast<std::uint32_t>(t % config.families);
+    Bytes& s = family[f];
+    const std::uint64_t j = occurrence[f]++;
+    const std::uint64_t v = mutation_counter++;
+    const std::uint8_t b0 = static_cast<std::uint8_t>(0x40 + v % 181);
+    const std::uint8_t b1 = static_cast<std::uint8_t>(0x40 + (v / 181) % 181);
+    if (j % 2 == 0) {
+      s[0] = b0;
+      s[1] = b1;
+    } else {
+      s[s.size() - 2] = b0;
+      s[s.size() - 1] = b1;
+    }
+    // Separator from the disjoint low range, rotating by position.
+    out.push_back(static_cast<std::uint8_t>(0x20 + (t % 0x20)));
+    out.insert(out.end(), s.begin(), s.end());
+    ++t;
+  }
+  out.resize(size);
+  return out;
+}
+
+}  // namespace gompresso::datagen

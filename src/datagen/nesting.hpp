@@ -1,0 +1,40 @@
+// Nesting-depth dataset generator (paper §V-A, Fig. 10).
+//
+// "We created a collection of artificial 1 GB datasets that induce a
+// specified depth of back-reference nesting. ... we repeat a 16-byte
+// string with a one-byte change occurring in an alternating fashion at
+// the first and last byte position. ... A separator byte, chosen from a
+// disjoint set of bytes, is used to prevent accidental and undesired
+// matches ... In order to generate datasets with a smaller nesting depth,
+// we alternate multiple distinct repeated strings. For example, two
+// repeated strings result in depth 16, four repeated strings in depth 8."
+//
+// With `families` distinct repeated strings interleaved round-robin, each
+// occurrence's back-reference points at the previous occurrence of its
+// own family, `families` sequences earlier — so a warp group of 32
+// sequences contains dependency chains of depth ceil(32 / families).
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace gompresso::datagen {
+
+struct NestingConfig {
+  /// Number of distinct repeated strings (1..32). 1 → depth 32 (the
+  /// fully serial case), 32 → depth 1 (every reference leaves the group).
+  std::uint32_t families = 1;
+  std::uint32_t string_len = 16;  // paper: "close to the average match length"
+  std::uint64_t seed = 0x4E657374ULL;
+};
+
+/// Expected MRR resolution rounds per warp group for a family count.
+inline std::uint32_t expected_depth(std::uint32_t families) {
+  return (32 + families - 1) / families;
+}
+
+/// Generates `size` bytes inducing the configured nesting depth.
+Bytes make_nesting(std::size_t size, const NestingConfig& config = {});
+
+}  // namespace gompresso::datagen

@@ -1,0 +1,108 @@
+#include "datagen/zipf_text.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gompresso::datagen {
+namespace {
+
+/// Synthesises a vocabulary of pronounceable lowercase words with
+/// Zipf-rank-correlated lengths (frequent words are short, as in natural
+/// language — this matters for the match-length distribution).
+std::vector<std::string> make_vocabulary(std::size_t n, Rng& rng) {
+  static const char* kConsonants = "bcdfghjklmnpqrstvwz";
+  static const char* kVowels = "aeiou";
+  std::vector<std::string> words;
+  words.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Rank-dependent length: top ranks 2-4 chars, tail up to 12.
+    const std::size_t len =
+        2 + rng.next_below(3) + (i < 64 ? 0 : (i < 1024 ? 2 : 4) + rng.next_below(4));
+    std::string w;
+    w.reserve(len);
+    for (std::size_t k = 0; k < len; ++k) {
+      w.push_back(k % 2 == 0 ? kConsonants[rng.next_below(19)]
+                             : kVowels[rng.next_below(5)]);
+    }
+    words.push_back(std::move(w));
+  }
+  return words;
+}
+
+void append(Bytes& out, const std::string& s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+}  // namespace
+
+Bytes make_wikipedia_xml(std::size_t size, const WikipediaConfig& config) {
+  Rng rng(config.seed);
+  const auto vocab = make_vocabulary(config.vocabulary, rng);
+  const ZipfSampler zipf(config.vocabulary, config.zipf_s);
+
+  Bytes out;
+  out.reserve(size + 4096);
+  append(out, "<mediawiki xmlns=\"http://www.mediawiki.org/xml/export-0.10/\" "
+              "xml:lang=\"en\">\n  <siteinfo>\n    <sitename>Wikipedia</sitename>\n"
+              "    <dbname>enwiki</dbname>\n  </siteinfo>\n");
+
+  std::uint64_t page_id = 1000;
+  std::uint64_t rev_id = 90000000;
+  auto emit_word = [&](Bytes& o) { append(o, vocab[zipf.sample(rng)]); };
+
+  while (out.size() < size) {
+    // Page header.
+    append(out, "  <page>\n    <title>");
+    emit_word(out);
+    out.push_back(' ');
+    emit_word(out);
+    append(out, "</title>\n    <ns>0</ns>\n    <id>");
+    append(out, std::to_string(page_id++));
+    append(out, "</id>\n    <revision>\n      <id>");
+    append(out, std::to_string(rev_id));
+    rev_id += 1 + rng.next_below(97);
+    append(out, "</id>\n      <timestamp>2016-0");
+    append(out, std::to_string(1 + rng.next_below(9)));
+    append(out, "-");
+    append(out, std::to_string(10 + rng.next_below(18)));
+    append(out, "T12:00:00Z</timestamp>\n      <text xml:space=\"preserve\">");
+
+    // Body: paragraphs of Zipfian words with occasional wiki markup.
+    const std::size_t paragraphs = 2 + rng.next_below(5);
+    for (std::size_t p = 0; p < paragraphs && out.size() < size; ++p) {
+      if (rng.next_below(3) == 0) {
+        append(out, "== ");
+        emit_word(out);
+        append(out, " ==\n");
+      }
+      const std::size_t sentences = 3 + rng.next_below(6);
+      for (std::size_t s = 0; s < sentences && out.size() < size; ++s) {
+        const std::size_t words_in_sentence = 6 + rng.next_below(12);
+        for (std::size_t w = 0; w < words_in_sentence; ++w) {
+          const std::uint64_t style = rng.next_below(40);
+          if (style == 0) {
+            append(out, "[[");
+            emit_word(out);
+            append(out, "]]");
+          } else if (style == 1) {
+            append(out, "''");
+            emit_word(out);
+            append(out, "''");
+          } else {
+            emit_word(out);
+          }
+          out.push_back(w + 1 == words_in_sentence ? '.' : ' ');
+        }
+        out.push_back(' ');
+      }
+      out.push_back('\n');
+    }
+    append(out, "</text>\n    </revision>\n  </page>\n");
+  }
+  out.resize(size);
+  return out;
+}
+
+}  // namespace gompresso::datagen

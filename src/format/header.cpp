@@ -1,0 +1,54 @@
+#include "format/header.hpp"
+
+#include "util/varint.hpp"
+
+namespace gompresso::format {
+
+Bytes FileHeader::serialize() const {
+  Bytes out;
+  put_u32le(out, kMagic);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(codec));
+  out.push_back(dependency_elimination ? 1 : 0);
+  out.push_back(codeword_limit);
+  put_varint(out, window_size);
+  put_varint(out, min_match);
+  put_varint(out, max_match);
+  put_varint(out, block_size);
+  put_varint(out, tokens_per_subblock);
+  put_varint(out, uncompressed_size);
+  put_varint(out, block_compressed_sizes.size());
+  for (const auto s : block_compressed_sizes) put_varint(out, s);
+  return out;
+}
+
+FileHeader FileHeader::deserialize(ByteSpan data, std::size_t& pos) {
+  FileHeader h;
+  check(get_u32le(data, pos) == kMagic, "format: bad magic");
+  check(pos < data.size() && data[pos] == kVersion, "format: unsupported version");
+  ++pos;
+  check(pos + 3 <= data.size(), "format: truncated header");
+  const std::uint8_t codec_byte = data[pos++];
+  check(codec_byte <= 2, "format: unknown codec");
+  h.codec = static_cast<Codec>(codec_byte);
+  h.dependency_elimination = data[pos++] != 0;
+  h.codeword_limit = data[pos++];
+  check(h.codeword_limit >= 1 && h.codeword_limit <= 15, "format: bad CWL");
+  h.window_size = static_cast<std::uint32_t>(get_varint(data, pos));
+  h.min_match = static_cast<std::uint32_t>(get_varint(data, pos));
+  h.max_match = static_cast<std::uint32_t>(get_varint(data, pos));
+  h.block_size = static_cast<std::uint32_t>(get_varint(data, pos));
+  h.tokens_per_subblock = static_cast<std::uint32_t>(get_varint(data, pos));
+  h.uncompressed_size = get_varint(data, pos);
+  const std::uint64_t num_blocks = get_varint(data, pos);
+  check(num_blocks <= (1ull << 32), "format: implausible block count");
+  check(h.block_size > 0, "format: zero block size");
+  check(h.tokens_per_subblock > 0, "format: zero tokens per sub-block");
+  h.block_compressed_sizes.reserve(static_cast<std::size_t>(num_blocks));
+  for (std::uint64_t i = 0; i < num_blocks; ++i) {
+    h.block_compressed_sizes.push_back(get_varint(data, pos));
+  }
+  return h;
+}
+
+}  // namespace gompresso::format

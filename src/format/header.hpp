@@ -1,0 +1,58 @@
+// The Gompresso file format (paper Fig. 3).
+//
+//   +--------------------------------------------------------------+
+//   | file header: magic, version, codec, DE flag, CWL,            |
+//   |   window size, min/max match, block size, tokens/sub-block,  |
+//   |   uncompressed size, per-block compressed sizes              |
+//   +--------------------------------------------------------------+
+//   | block 1 payload (codec-specific, see core/{byte,bit}_codec)  |
+//   | block 2 payload                                              |
+//   | ...                                                          |
+//   +--------------------------------------------------------------+
+//
+// The per-block compressed-size list plays the same role as the paper's
+// sub-block size list one level up: it lets the decompressor locate every
+// block without scanning, which is what enables inter-block parallelism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gompresso::format {
+
+inline constexpr std::uint32_t kMagic = 0x5A504D47u;  // "GMPZ"
+inline constexpr std::uint8_t kVersion = 1;
+
+enum class Codec : std::uint8_t {
+  kByte = 0,  // Gompresso/Byte: fixed-width byte-aligned sequence records
+  kBit = 1,   // Gompresso/Bit: two Huffman trees per block (DEFLATE-like)
+  kTans = 2,  // Gompresso/Tans: two shared tANS models per block (the
+              // paper's "alternative coding schemes" future work, §VI)
+};
+
+/// File-level metadata. All fields mirror Fig. 3's "compressed file
+/// header" box (dictionary size = window_size, etc.).
+struct FileHeader {
+  Codec codec = Codec::kBit;
+  bool dependency_elimination = false;
+  std::uint8_t codeword_limit = 10;  // CWL, bit codec only
+  std::uint32_t window_size = 8 * 1024;
+  std::uint32_t min_match = 3;
+  std::uint32_t max_match = 64;
+  std::uint32_t block_size = 256 * 1024;
+  std::uint32_t tokens_per_subblock = 16;
+  std::uint64_t uncompressed_size = 0;
+  std::vector<std::uint64_t> block_compressed_sizes;
+
+  std::size_t num_blocks() const { return block_compressed_sizes.size(); }
+
+  /// Serialises the header to bytes.
+  Bytes serialize() const;
+
+  /// Parses a header from the start of `data`; `pos` is advanced past it.
+  static FileHeader deserialize(ByteSpan data, std::size_t& pos);
+};
+
+}  // namespace gompresso::format

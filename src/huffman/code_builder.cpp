@@ -1,0 +1,155 @@
+#include "huffman/code_builder.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace gompresso::huffman {
+namespace {
+
+// One item in a package-merge level list: either a leaf (symbol >= 0) or a
+// package combining two items of the next-lower denomination level.
+struct Item {
+  std::uint64_t weight = 0;
+  std::int32_t symbol = -1;  // >= 0 for leaves
+  std::int32_t left = -1;    // indices into the next level's item list
+  std::int32_t right = -1;
+};
+
+}  // namespace
+
+std::uint32_t reverse_bits(std::uint32_t code, unsigned nbits) {
+  std::uint32_t r = 0;
+  for (unsigned i = 0; i < nbits; ++i) {
+    r = (r << 1) | (code & 1u);
+    code >>= 1;
+  }
+  return r;
+}
+
+std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs,
+                                             unsigned max_length) {
+  const std::size_t alphabet = freqs.size();
+  std::vector<std::uint8_t> lengths(alphabet, 0);
+
+  // Collect and sort the active symbols by frequency (stable on symbol id
+  // for determinism).
+  std::vector<std::int32_t> active;
+  for (std::size_t s = 0; s < alphabet; ++s) {
+    if (freqs[s] != 0) active.push_back(static_cast<std::int32_t>(s));
+  }
+  const std::size_t n = active.size();
+  if (n == 0) return lengths;
+  if (n == 1) {
+    lengths[static_cast<std::size_t>(active[0])] = 1;
+    return lengths;
+  }
+  check(max_length >= 1 && (1ull << max_length) >= n,
+        "huffman: max code length too small for alphabet");
+
+  std::sort(active.begin(), active.end(), [&](std::int32_t a, std::int32_t b) {
+    const auto fa = freqs[static_cast<std::size_t>(a)];
+    const auto fb = freqs[static_cast<std::size_t>(b)];
+    return fa != fb ? fa < fb : a < b;
+  });
+
+  // levels[l] holds the merged item list for denomination 2^-(l+1);
+  // levels[max_length-1] is the smallest denomination (pure leaves),
+  // levels[0] is the final list items are selected from.
+  std::vector<std::vector<Item>> levels(max_length);
+
+  std::vector<Item> leaves(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves[i].weight = freqs[static_cast<std::size_t>(active[i])];
+    leaves[i].symbol = active[i];
+  }
+
+  std::vector<Item> prev;  // the level below (higher l), already finished
+  for (int l = static_cast<int>(max_length) - 1; l >= 0; --l) {
+    auto& cur = levels[static_cast<std::size_t>(l)];
+    // Form packages by pairing adjacent items of the previous level.
+    std::vector<Item> packages;
+    packages.reserve(prev.size() / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      Item pkg;
+      pkg.weight = prev[i].weight + prev[i + 1].weight;
+      pkg.left = static_cast<std::int32_t>(i);
+      pkg.right = static_cast<std::int32_t>(i + 1);
+      packages.push_back(pkg);
+    }
+    // Merge leaves and packages by weight (leaves first on ties, which
+    // keeps codes deterministic).
+    cur.reserve(n + packages.size());
+    std::size_t li = 0, pi = 0;
+    while (li < n || pi < packages.size()) {
+      const bool take_leaf =
+          pi >= packages.size() ||
+          (li < n && leaves[li].weight <= packages[pi].weight);
+      cur.push_back(take_leaf ? leaves[li++] : packages[pi++]);
+    }
+    prev = cur;
+  }
+
+  // Select the first 2(n-1) items of the top list and count how many
+  // selected (transitively expanded) items reference each leaf symbol.
+  const std::size_t select = 2 * (n - 1);
+  check(levels[0].size() >= select, "huffman: package-merge underflow");
+
+  // Explicit stack of (level, index) pairs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+  for (std::size_t i = 0; i < select; ++i) {
+    stack.emplace_back(0u, static_cast<std::uint32_t>(i));
+  }
+  while (!stack.empty()) {
+    const auto [lvl, idx] = stack.back();
+    stack.pop_back();
+    const Item& item = levels[lvl][idx];
+    if (item.symbol >= 0) {
+      ++lengths[static_cast<std::size_t>(item.symbol)];
+    } else {
+      stack.emplace_back(lvl + 1, static_cast<std::uint32_t>(item.left));
+      stack.emplace_back(lvl + 1, static_cast<std::uint32_t>(item.right));
+    }
+  }
+  return lengths;
+}
+
+std::uint64_t kraft_sum(const std::vector<std::uint8_t>& lengths, unsigned max_length) {
+  std::uint64_t sum = 0;
+  for (const auto len : lengths) {
+    if (len == 0) continue;
+    check(len <= max_length, "huffman: code length exceeds limit");
+    sum += 1ull << (max_length - len);
+  }
+  return sum;
+}
+
+std::vector<CodeEntry> assign_canonical_codes(const std::vector<std::uint8_t>& lengths) {
+  unsigned max_len = 0;
+  for (const auto len : lengths) max_len = std::max<unsigned>(max_len, len);
+  std::vector<CodeEntry> codes(lengths.size());
+  if (max_len == 0) return codes;
+
+  check(kraft_sum(lengths, max_len) <= (1ull << max_len),
+        "huffman: over-subscribed code lengths");
+
+  // DEFLATE RFC 1951 §3.2.2 canonical assignment.
+  std::vector<std::uint32_t> bl_count(max_len + 1, 0);
+  for (const auto len : lengths) {
+    if (len != 0) ++bl_count[len];
+  }
+  std::vector<std::uint32_t> next_code(max_len + 2, 0);
+  std::uint32_t code = 0;
+  for (unsigned len = 1; len <= max_len; ++len) {
+    code = (code + bl_count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const unsigned len = lengths[s];
+    if (len == 0) continue;
+    codes[s].code = static_cast<std::uint16_t>(next_code[len]++);
+    codes[s].length = static_cast<std::uint8_t>(len);
+  }
+  return codes;
+}
+
+}  // namespace gompresso::huffman

@@ -1,0 +1,46 @@
+// Length-limited Huffman code construction (package-merge) and canonical
+// code assignment.
+//
+// The paper (§V-C) uses limited-length Huffman coding with a maximum
+// codeword length CWL = 10 bits so that each decode table has 2^CWL
+// entries and fits in the GPU's on-chip memory. Package-merge produces the
+// optimal code subject to that limit. Canonical assignment follows the
+// DEFLATE convention so a code is fully described by its per-symbol
+// lengths, which is what the block headers store ("the Huffman trees are
+// written in a canonical representation", §III-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gompresso::huffman {
+
+/// A canonical code for one symbol. `code` holds the MSB-first canonical
+/// value; use reversed() when writing to an LSB-first bitstream.
+struct CodeEntry {
+  std::uint16_t code = 0;
+  std::uint8_t length = 0;  // 0 = symbol absent from the code
+};
+
+/// Computes optimal code lengths for `freqs` subject to `max_length`,
+/// using the package-merge algorithm. Symbols with zero frequency get
+/// length 0. Requires 2^max_length >= number of non-zero symbols.
+/// A single-symbol alphabet gets length 1.
+std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs,
+                                             unsigned max_length);
+
+/// Assigns canonical (DEFLATE-style) codes from per-symbol lengths.
+/// Throws gompresso::Error if the lengths violate the Kraft inequality
+/// (over-subscribed code).
+std::vector<CodeEntry> assign_canonical_codes(const std::vector<std::uint8_t>& lengths);
+
+/// Kraft sum scaled by 2^max_length: sum over symbols of 2^(max_length -
+/// length). Equals 2^max_length for a complete code.
+std::uint64_t kraft_sum(const std::vector<std::uint8_t>& lengths, unsigned max_length);
+
+/// Reverses the low `nbits` bits of `code` (MSB-first -> LSB-first).
+std::uint32_t reverse_bits(std::uint32_t code, unsigned nbits);
+
+}  // namespace gompresso::huffman

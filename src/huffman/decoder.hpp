@@ -1,0 +1,54 @@
+// Single-lookup Huffman decoder.
+//
+// "We can retrieve the original token symbol with a single lookup in each
+// table, which is much faster than searching through the (more compact)
+// Huffman trees, which would introduce branches and hence divergence of
+// the threads' execution paths." (paper §III-B.1)
+//
+// The table has 2^table_bits entries; entry i gives the symbol whose
+// (LSB-first) code is a prefix of the bit pattern i, plus the code length
+// to consume. table_bits is the maximum codeword length CWL (10 in the
+// paper, §V-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bit_reader.hpp"
+#include "huffman/code_builder.hpp"
+
+namespace gompresso::huffman {
+
+/// Table-driven decoder for canonical codes with lengths <= table_bits.
+class Decoder {
+ public:
+  static constexpr std::uint16_t kInvalidSymbol = 0xFFFF;
+
+  /// Builds the lookup table from per-symbol code lengths.
+  Decoder(const std::vector<std::uint8_t>& lengths, unsigned table_bits);
+
+  /// Decodes one symbol; returns kInvalidSymbol on a bit pattern that is
+  /// not a valid codeword (corrupt stream).
+  std::uint16_t decode(BitReader& reader) const {
+    const Entry e = table_[reader.peek(table_bits_)];
+    reader.consume(e.length);
+    return e.length == 0 ? kInvalidSymbol : e.symbol;
+  }
+
+  unsigned table_bits() const { return table_bits_; }
+  std::size_t table_size() const { return table_.size(); }
+
+  /// On-chip memory footprint of this table in bytes; the paper's block
+  /// size study (Fig. 12) hinges on this limiting GPU occupancy.
+  std::size_t footprint_bytes() const { return table_.size() * sizeof(Entry); }
+
+ private:
+  struct Entry {
+    std::uint16_t symbol = kInvalidSymbol;
+    std::uint8_t length = 0;  // 0 marks an invalid/unused entry
+  };
+  std::vector<Entry> table_;
+  unsigned table_bits_;
+};
+
+}  // namespace gompresso::huffman

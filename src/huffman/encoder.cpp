@@ -1,0 +1,20 @@
+#include "huffman/encoder.hpp"
+
+namespace gompresso::huffman {
+
+Encoder::Encoder(const std::vector<CodeEntry>& codes) : entries_(codes.size()) {
+  for (std::size_t s = 0; s < codes.size(); ++s) {
+    entries_[s].length = codes[s].length;
+    entries_[s].bits = reverse_bits(codes[s].code, codes[s].length);
+  }
+}
+
+std::uint64_t Encoder::cost_bits(const std::vector<std::uint64_t>& freqs) const {
+  std::uint64_t bits = 0;
+  for (std::size_t s = 0; s < freqs.size() && s < entries_.size(); ++s) {
+    bits += freqs[s] * entries_[s].length;
+  }
+  return bits;
+}
+
+}  // namespace gompresso::huffman

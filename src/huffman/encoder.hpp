@@ -1,0 +1,39 @@
+// Huffman symbol encoder over an LSB-first bitstream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bit_writer.hpp"
+#include "huffman/code_builder.hpp"
+
+namespace gompresso::huffman {
+
+/// Encodes symbols using a canonical code. Codes are pre-reversed at
+/// construction so the hot path is a single BitWriter::write.
+class Encoder {
+ public:
+  /// Builds from per-symbol canonical code entries (assign_canonical_codes).
+  explicit Encoder(const std::vector<CodeEntry>& codes);
+
+  /// Writes `symbol`'s code. The symbol must have a non-zero length.
+  void encode(std::size_t symbol, BitWriter& writer) const {
+    const Entry& e = entries_[symbol];
+    writer.write(e.bits, e.length);
+  }
+
+  /// Code length in bits for `symbol` (0 if absent).
+  unsigned length(std::size_t symbol) const { return entries_[symbol].length; }
+
+  /// Total encoded size in bits of a message with the given frequencies.
+  std::uint64_t cost_bits(const std::vector<std::uint64_t>& freqs) const;
+
+ private:
+  struct Entry {
+    std::uint32_t bits = 0;  // LSB-first (already reversed)
+    std::uint8_t length = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace gompresso::huffman

@@ -1,0 +1,31 @@
+// Symbol frequency counting for Huffman code construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gompresso::huffman {
+
+/// Frequency table over a dense symbol alphabet [0, alphabet_size).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t alphabet_size) : counts_(alphabet_size, 0) {}
+
+  void add(std::size_t symbol, std::uint64_t n = 1) { counts_[symbol] += n; }
+
+  std::uint64_t count(std::size_t symbol) const { return counts_[symbol]; }
+  std::size_t alphabet_size() const { return counts_.size(); }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Number of symbols with non-zero frequency.
+  std::size_t distinct() const {
+    std::size_t n = 0;
+    for (auto c : counts_) n += (c != 0);
+    return n;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace gompresso::huffman

@@ -1,0 +1,22 @@
+#include "huffman/serial.hpp"
+
+#include "util/common.hpp"
+
+namespace gompresso::huffman {
+
+void write_code_lengths(const std::vector<std::uint8_t>& lengths, BitWriter& writer) {
+  for (const auto len : lengths) {
+    check(len <= 15, "huffman serial: length exceeds nibble");
+    writer.write(len, 4);
+  }
+}
+
+std::vector<std::uint8_t> read_code_lengths(std::size_t count, BitReader& reader) {
+  std::vector<std::uint8_t> lengths(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    lengths[i] = static_cast<std::uint8_t>(reader.read(4));
+  }
+  return lengths;
+}
+
+}  // namespace gompresso::huffman

@@ -1,0 +1,24 @@
+// Canonical-representation serialisation of Huffman codes.
+//
+// A canonical code is fully determined by its per-symbol code lengths
+// (paper §III-A: "the Huffman trees are written in a canonical
+// representation"). With CWL <= 10 each length fits in a 4-bit nibble, so
+// a tree costs alphabet_size/2 bytes in the block header. The ratio
+// benchmarks account for this overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/bit_reader.hpp"
+#include "bitstream/bit_writer.hpp"
+
+namespace gompresso::huffman {
+
+/// Writes `lengths` as 4-bit nibbles. All lengths must be <= 15.
+void write_code_lengths(const std::vector<std::uint8_t>& lengths, BitWriter& writer);
+
+/// Reads `count` 4-bit code lengths.
+std::vector<std::uint8_t> read_code_lengths(std::size_t count, BitReader& reader);
+
+}  // namespace gompresso::huffman

@@ -1,0 +1,44 @@
+// DEFLATE (RFC 1951) length and distance bucket tables.
+//
+// Gompresso/Bit encodes match lengths and distances the way DEFLATE does:
+// a Huffman-coded bucket symbol followed by a fixed number of raw extra
+// bits. Using the RFC tables keeps the bit codec auditable against a
+// well-known reference and lets the deflate_like baseline share the code.
+#pragma once
+
+#include <cstdint>
+
+namespace gompresso::lz77 {
+
+inline constexpr unsigned kNumLengthCodes = 29;    // lengths 3..258
+inline constexpr unsigned kNumDistanceCodes = 30;  // distances 1..32768
+inline constexpr std::uint32_t kMinMatch = 3;
+inline constexpr std::uint32_t kMaxMatch = 258;
+inline constexpr std::uint32_t kMaxDistance = 32768;
+
+/// A (bucket, extra bits) encoding of a value.
+struct BucketCode {
+  std::uint16_t code = 0;        // bucket index within its alphabet
+  std::uint8_t extra_bits = 0;   // number of raw bits that follow
+  std::uint16_t extra_value = 0; // value of those raw bits
+};
+
+/// Encodes a match length (3..258) as a length bucket (0..28).
+BucketCode encode_length(std::uint32_t length);
+
+/// Decodes a length bucket + extra bits back to a match length.
+std::uint32_t decode_length(std::uint32_t code, std::uint32_t extra);
+
+/// Number of extra bits for a length bucket.
+unsigned length_extra_bits(std::uint32_t code);
+
+/// Encodes a match distance (1..32768) as a distance bucket (0..29).
+BucketCode encode_distance(std::uint32_t distance);
+
+/// Decodes a distance bucket + extra bits back to a distance.
+std::uint32_t decode_distance(std::uint32_t code, std::uint32_t extra);
+
+/// Number of extra bits for a distance bucket.
+unsigned distance_extra_bits(std::uint32_t code);
+
+}  // namespace gompresso::lz77

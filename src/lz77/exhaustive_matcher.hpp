@@ -1,0 +1,74 @@
+// Exhaustive window matcher — the reference for "an exhaustive parallel
+// matching technique" (paper §III-A, citing the authors' GTC'13 work).
+//
+// On the GPU, a warp's 32 lanes each scan a strided slice of the sliding
+// window and the best candidate is selected with a warp reduction. This
+// CPU analogue scans the same candidates in the same lane-strided order
+// and reduces identically, so its results are what the paper's compressor
+// would produce. Cost is O(window) per query — it exists as a correctness
+// and quality oracle for the hash-based matchers (tests) and for
+// small-input demonstrations, not for production parsing.
+#pragma once
+
+#include "lz77/matcher.hpp"
+#include "simt/warp.hpp"
+
+namespace gompresso::lz77 {
+
+class ExhaustiveMatcher {
+ public:
+  explicit ExhaustiveMatcher(const MatcherConfig& config) : config_(config) {}
+
+  void reset() {}
+
+  /// Finds the longest match for input[pos..]; ties go to the *oldest*
+  /// candidate, matching the scan order of the parallel implementation.
+  /// Honors the DE constraint like the other matchers.
+  Match find(ByteSpan input, std::uint32_t pos, std::uint32_t start_limit,
+             const DeConstraint* de = nullptr) const {
+    Match best;
+    if (pos + config_.min_match > input.size()) return best;
+    const std::uint32_t window_start =
+        pos > config_.window_size ? pos - config_.window_size : 0;
+    const std::uint32_t end = std::min(start_limit, pos);
+    const std::uint32_t max_cap = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.max_match, input.size() - pos));
+
+    // Lane-strided scan: lane L examines window_start + L, + L + 32, ...
+    // Each lane keeps its local best; a warp reduction picks the global
+    // best (oldest wins ties, matching the deterministic GPU reduction).
+    simt::LaneArray<Match> lane_best{};
+    for (unsigned lane = 0; lane < simt::kWarpSize; ++lane) {
+      for (std::uint32_t cand = window_start + lane; cand < end;
+           cand += simt::kWarpSize) {
+        std::uint32_t cap = max_cap;
+        if (de != nullptr) cap = std::min<std::uint32_t>(cap, de->allowed_cap(cand));
+        if (cap < config_.min_match) continue;
+        const std::uint32_t len = match_length(input, cand, pos, cap);
+        if (len >= config_.min_match &&
+            (len > lane_best[lane].len ||
+             (len == lane_best[lane].len && lane_best[lane].found() &&
+              cand < lane_best[lane].pos))) {
+          lane_best[lane] = {cand, len};
+        }
+      }
+    }
+    // Warp reduction.
+    for (unsigned lane = 0; lane < simt::kWarpSize; ++lane) {
+      const Match& m = lane_best[lane];
+      if (!m.found()) continue;
+      if (m.len > best.len || (m.len == best.len && m.pos < best.pos)) best = m;
+    }
+    return best;
+  }
+
+  /// No dictionary state: inserts are no-ops (the scan sees everything).
+  void insert(ByteSpan, std::uint32_t) {}
+
+  const MatcherConfig& config() const { return config_; }
+
+ private:
+  MatcherConfig config_;
+};
+
+}  // namespace gompresso::lz77

@@ -1,0 +1,159 @@
+// Sliding-window match finders.
+//
+// Two matchers are provided:
+//
+//  * HashMatcher — a single-slot trigram hash table, the design the paper
+//    adopted from LZ4 (§IV-B: "the compressor of the LZ4 library uses a
+//    hash table ... The key in the hash table is a string of three bytes
+//    (trigram). The value is the most recent position"). It implements the
+//    paper's "minimal staleness" replacement policy: an existing entry is
+//    only replaced by a more recent occurrence when it has fallen more
+//    than `staleness` bytes behind the cursor, which keeps entries that
+//    are likely to lie below the warp high-water mark available to the
+//    Dependency-Elimination parser.
+//
+//  * ChainMatcher — classic zlib-style hash chains with a configurable
+//    search depth, used by the deflate_like / zstd_like baselines where
+//    compression ratio (not parse speed) is the point of comparison.
+//
+// Both matchers accept a start limit (candidate match positions must be
+// < start_limit, normally the cursor) and an optional DeConstraint that
+// restricts *source intervals* for Dependency Elimination (§IV-B).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gompresso::lz77 {
+
+inline constexpr std::uint32_t kNoLimit = std::numeric_limits<std::uint32_t>::max();
+
+/// Dependency-Elimination source constraint for the current warp group.
+///
+/// DE forbids back-references "that would depend on other back-references
+/// within the same warp" (§IV-B). A source byte is therefore usable when
+/// it lies below the warp high-water mark (output of earlier groups,
+/// fully resolved before this group's back-reference phase) or inside a
+/// *literal* region of the current group (all of a group's literal
+/// strings are written before any of its back-references, §III-B step b).
+/// Only the output intervals of back-references already emitted in the
+/// current group are forbidden; `forbidden` lists them in ascending
+/// order (at most warp_size-1 entries).
+struct DeConstraint {
+  std::uint32_t warp_hwm = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> forbidden;  // [start, end)
+
+  /// Starts a new warp group at input position `hwm`.
+  void begin_group(std::uint32_t hwm) {
+    warp_hwm = hwm;
+    forbidden.clear();
+  }
+
+  /// Records an emitted back-reference's output interval.
+  void add_backref(std::uint32_t start, std::uint32_t end) {
+    forbidden.emplace_back(start, end);
+  }
+
+  /// Longest usable contiguous source run starting at `c` (0 if `c`
+  /// itself is forbidden). The run may extend past the cursor into the
+  /// candidate match's own output (self-overlap is resolved by the lane's
+  /// own forward copy).
+  ///
+  /// This is called for every match probe during a DE parse, so the two
+  /// common cases are O(1): candidates past the group's last emitted
+  /// back-reference (the RLE probe, fresh literals) and candidates below
+  /// the first one (prior-group output).
+  std::uint32_t allowed_cap(std::uint32_t c) const {
+    if (forbidden.empty() || c >= forbidden.back().second) return kNoLimit;
+    if (c < forbidden.front().first) return forbidden.front().first - c;
+    for (const auto& [s, e] : forbidden) {
+      if (c >= s && c < e) return 0;
+      if (s > c) return s - c;  // sorted: first interval past c bounds the run
+    }
+    return kNoLimit;
+  }
+};
+
+/// A match found in the window: absolute source position and length.
+struct Match {
+  std::uint32_t pos = 0;
+  std::uint32_t len = 0;
+  bool found() const { return len != 0; }
+};
+
+/// Configuration shared by the matchers.
+struct MatcherConfig {
+  std::uint32_t window_size = 8 * 1024;  // §V: 8 KB sliding window
+  std::uint32_t min_match = 3;
+  std::uint32_t max_match = 64;          // §V: 64-byte lookahead
+  std::uint32_t staleness = 1024;        // §IV-B: 1 KB minimal staleness
+  std::uint32_t hash_bits = 15;
+  /// ChainMatcher tie-breaking: prefer the *oldest* occurrence among
+  /// equal-length candidates. The paper's GPU compressor scans the whole
+  /// window ("an exhaustive parallel matching technique", §III-A), which
+  /// keeps the first — oldest — longest match; older sources both reduce
+  /// intra-warp nesting depth under MRR and fall below the warp HWM more
+  /// often under DE. Distance cost: none for the fixed-width byte codec,
+  /// a few extra-bits for the bit codec's distance buckets.
+  bool prefer_older_matches = false;
+};
+
+/// Single-slot trigram hash matcher with the minimal-staleness policy.
+class HashMatcher {
+ public:
+  explicit HashMatcher(const MatcherConfig& config);
+
+  /// Resets all table state (start of a new independent block).
+  void reset();
+
+  /// Finds the longest match for input[pos..] subject to the limits.
+  /// `de` (optional) applies the Dependency-Elimination source constraint.
+  Match find(ByteSpan input, std::uint32_t pos, std::uint32_t start_limit,
+             const DeConstraint* de = nullptr) const;
+
+  /// Registers position `pos` in the table (subject to staleness policy).
+  void insert(ByteSpan input, std::uint32_t pos);
+
+  const MatcherConfig& config() const { return config_; }
+
+ private:
+  std::uint32_t hash(ByteSpan input, std::uint32_t pos) const;
+
+  MatcherConfig config_;
+  std::vector<std::uint32_t> table_;  // kEmpty or absolute position
+  static constexpr std::uint32_t kEmpty = kNoLimit;
+};
+
+/// Hash-chain matcher (zlib-style) with bounded chain walk.
+class ChainMatcher {
+ public:
+  ChainMatcher(const MatcherConfig& config, std::uint32_t max_chain_depth);
+
+  void reset();
+
+  Match find(ByteSpan input, std::uint32_t pos, std::uint32_t start_limit,
+             const DeConstraint* de = nullptr) const;
+
+  void insert(ByteSpan input, std::uint32_t pos);
+
+  const MatcherConfig& config() const { return config_; }
+
+ private:
+  std::uint32_t hash(ByteSpan input, std::uint32_t pos) const;
+
+  MatcherConfig config_;
+  std::uint32_t max_chain_depth_;
+  std::vector<std::uint32_t> head_;  // hash -> most recent position
+  std::vector<std::uint32_t> prev_;  // pos % window -> previous position
+  static constexpr std::uint32_t kEmpty = kNoLimit;
+};
+
+/// Longest common extension of input[a..] and input[b..], capped.
+std::uint32_t match_length(ByteSpan input, std::uint32_t a, std::uint32_t b,
+                           std::uint32_t cap);
+
+}  // namespace gompresso::lz77

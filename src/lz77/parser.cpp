@@ -1,0 +1,14 @@
+#include "lz77/parser.hpp"
+
+namespace gompresso::lz77 {
+
+TokenBlock parse(ByteSpan block, const ParserOptions& options, ParseStats* stats) {
+  return parse_block<HashMatcher>(block, options, stats);
+}
+
+TokenBlock parse_chained(ByteSpan block, const ParserOptions& options,
+                         std::uint32_t chain_depth, ParseStats* stats) {
+  return parse_block<ChainMatcher>(block, options, stats, chain_depth);
+}
+
+}  // namespace gompresso::lz77

@@ -1,0 +1,52 @@
+#include "lz77/ref_decoder.hpp"
+
+namespace gompresso::lz77 {
+
+void append_sequence(Bytes& out, const Sequence& seq, const std::uint8_t* literal) {
+  out.insert(out.end(), literal, literal + seq.literal_len);
+  if (seq.match_len == 0) return;
+  check(seq.match_dist >= 1 && seq.match_dist <= out.size(),
+        "lz77: back-reference past start of block");
+  // Byte-wise forward copy: correct for overlapping matches (dist < len),
+  // where the copy reads bytes it has just written (RLE-style runs).
+  std::size_t src = out.size() - seq.match_dist;
+  for (std::uint32_t i = 0; i < seq.match_len; ++i) out.push_back(out[src + i]);
+}
+
+Bytes decode_reference(const TokenBlock& block) {
+  validate(block);
+  Bytes out;
+  out.reserve(block.uncompressed_size);
+  const std::uint8_t* lit = block.literals.data();
+  for (const auto& seq : block.sequences) {
+    append_sequence(out, seq, lit);
+    lit += seq.literal_len;
+  }
+  check(out.size() == block.uncompressed_size, "lz77: size mismatch after decode");
+  return out;
+}
+
+void validate(const TokenBlock& block) {
+  std::uint64_t literal_bytes = 0;
+  std::uint64_t out_bytes = 0;
+  for (std::size_t i = 0; i < block.sequences.size(); ++i) {
+    const Sequence& seq = block.sequences[i];
+    literal_bytes += seq.literal_len;
+    out_bytes += seq.literal_len;
+    if (seq.match_len == 0) {
+      // Zero-match sequences occur as the block terminator and as
+      // literal-run splits (ParserOptions::max_literal_run).
+      check(seq.match_dist == 0, "lz77: zero-length match with distance");
+      continue;
+    }
+    check(seq.match_dist >= 1, "lz77: zero distance");
+    check(seq.match_dist <= out_bytes, "lz77: distance exceeds produced output");
+    out_bytes += seq.match_len;
+  }
+  check(literal_bytes == block.literals.size(), "lz77: literal byte count mismatch");
+  check(out_bytes == block.uncompressed_size, "lz77: uncompressed size mismatch");
+  check(!block.sequences.empty(), "lz77: no sequences");
+  check(block.sequences.back().match_len == 0, "lz77: missing terminator sequence");
+}
+
+}  // namespace gompresso::lz77

@@ -1,0 +1,26 @@
+// Sequential reference decoder for LZ77 token blocks.
+//
+// Used as the correctness oracle for the warp-parallel decompressors and
+// as the inner loop of the CPU baseline codecs.
+#pragma once
+
+#include "lz77/sequence.hpp"
+#include "util/common.hpp"
+
+namespace gompresso::lz77 {
+
+/// Reconstructs the uncompressed block from sequences + literals.
+/// Throws gompresso::Error on malformed input (distance past the start,
+/// literal buffer mismatch, size mismatch).
+Bytes decode_reference(const TokenBlock& block);
+
+/// Appends one resolved sequence to `out` (shared helper).
+/// `literal` points at this sequence's literal bytes.
+void append_sequence(Bytes& out, const Sequence& seq, const std::uint8_t* literal);
+
+/// Validates structural invariants of a token block without decoding:
+/// distances within bounds, literal byte count consistent, terminator
+/// shape. Throws gompresso::Error on violation.
+void validate(const TokenBlock& block);
+
+}  // namespace gompresso::lz77

@@ -1,0 +1,41 @@
+// LZ77 sequences: the unit of work for warp-parallel decompression.
+//
+// "We first group consecutive literals into a single literal string. We
+// further require that a literal string is followed by a back-reference
+// and vice versa, similar to the LZ4 compression scheme. ... A pair
+// consisting of a literal string and a back-reference is called a
+// sequence. We assign each sequence to a different thread." (paper §III-B)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gompresso::lz77 {
+
+/// One (literal string, back-reference) pair. The literal string may be
+/// empty; the back-reference is absent (match_len == 0) only in the final
+/// sequence of a block.
+struct Sequence {
+  std::uint32_t literal_len = 0;
+  std::uint32_t match_len = 0;   // 0 = no back-reference (block terminator)
+  std::uint32_t match_dist = 0;  // distance back from the write position
+};
+
+/// The parsed form of one data block: sequences plus the concatenated
+/// literal bytes they reference (in sequence order).
+struct TokenBlock {
+  std::vector<Sequence> sequences;
+  Bytes literals;
+  std::uint32_t uncompressed_size = 0;
+
+  /// Recomputes the uncompressed size from the sequences.
+  std::uint32_t computed_size() const {
+    std::uint64_t n = 0;
+    for (const auto& s : sequences) n += s.literal_len + s.match_len;
+    return static_cast<std::uint32_t>(n);
+  }
+};
+
+}  // namespace gompresso::lz77

@@ -1,0 +1,25 @@
+// Wall-socket energy model (Fig. 14 substitution).
+//
+// The paper measured energy with a power meter at the wall, physically
+// removing the GPU for CPU-only runs (§V-D). Two observations anchor the
+// model: "the power drawn at the system level ... does not differ
+// significantly for different algorithms" on one platform, and the
+// platform constants below are calibrated so the paper's headline — the
+// GPU solution uses ~17 % less energy than parallel zlib despite the
+// higher platform power — is reproduced when the modeled runtimes are 2×
+// apart. Energy = platform power × runtime.
+#pragma once
+
+namespace gompresso::sim {
+
+struct EnergyModel {
+  /// Dual-socket E5-2620v2 server, GPUs physically removed, under load.
+  double cpu_system_watts = 230.0;
+  /// The same server with a Tesla K40 under decompression load.
+  double gpu_system_watts = 380.0;
+
+  double cpu_energy_joules(double seconds) const { return cpu_system_watts * seconds; }
+  double gpu_energy_joules(double seconds) const { return gpu_system_watts * seconds; }
+};
+
+}  // namespace gompresso::sim

@@ -1,0 +1,27 @@
+// PCIe transfer model.
+//
+// The paper's GPU measurements include PCIe 3.0 x16 transfers: "In
+// separate bandwidth tests, we were able to achieve a PCIe peak bandwidth
+// of 13 GB/sec" (§V-D), against a 16 GB/s nominal link. Fig. 13 reports
+// three Gompresso/Byte series — No PCIe, In (compressed input only), and
+// In/Out (input + decompressed output) — and for Gompresso/Byte the
+// output transfer is the bottleneck. With no GPU in this environment the
+// transfer time is modeled as latency + bytes / measured-bandwidth.
+#pragma once
+
+#include <cstdint>
+
+namespace gompresso::sim {
+
+struct PcieModel {
+  double bandwidth_gb_per_s = 13.0;  // measured, not nominal (§V-D)
+  double latency_s = 20e-6;          // per-transfer launch/DMA setup cost
+
+  /// Seconds to move `bytes` across the link in one direction.
+  double seconds(std::uint64_t bytes) const {
+    if (bytes == 0) return 0.0;
+    return latency_s + static_cast<double>(bytes) / 1e9 / bandwidth_gb_per_s;
+  }
+};
+
+}  // namespace gompresso::sim

@@ -1,0 +1,36 @@
+#include "simt/warp.hpp"
+
+#include <algorithm>
+
+namespace gompresso::simt {
+
+void WarpMetrics::record_round(std::uint64_t round, std::uint64_t bytes,
+                               std::uint64_t refs) {
+  if (round == 0) return;
+  if (bytes_per_round.size() < round) bytes_per_round.resize(round, 0);
+  if (refs_per_round.size() < round) refs_per_round.resize(round, 0);
+  bytes_per_round[round - 1] += bytes;
+  refs_per_round[round - 1] += refs;
+}
+
+void WarpMetrics::merge(const WarpMetrics& other) {
+  groups += other.groups;
+  rounds += other.rounds;
+  ballots += other.ballots;
+  shuffles += other.shuffles;
+  max_rounds_in_group = std::max(max_rounds_in_group, other.max_rounds_in_group);
+  if (bytes_per_round.size() < other.bytes_per_round.size()) {
+    bytes_per_round.resize(other.bytes_per_round.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.bytes_per_round.size(); ++i) {
+    bytes_per_round[i] += other.bytes_per_round[i];
+  }
+  if (refs_per_round.size() < other.refs_per_round.size()) {
+    refs_per_round.resize(other.refs_per_round.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.refs_per_round.size(); ++i) {
+    refs_per_round[i] += other.refs_per_round[i];
+  }
+}
+
+}  // namespace gompresso::simt

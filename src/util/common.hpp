@@ -1,0 +1,67 @@
+// Core shared definitions for the Gompresso library.
+//
+// Everything in this repository lives under the `gompresso` namespace.
+// This header provides the error type thrown at public API boundaries,
+// byte-span aliases used throughout the codecs, and a handful of small
+// bit-manipulation helpers shared by the bitstream, Huffman and SIMT
+// layers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gompresso {
+
+/// Error thrown by public API entry points on malformed input, corrupt
+/// compressed data, or invalid configuration.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws gompresso::Error with `msg` when `cond` is false.
+inline void check(bool cond, const char* msg) {
+  if (!cond) throw Error(msg);
+}
+
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+using Bytes = std::vector<std::uint8_t>;
+
+/// Reinterprets a string as a read-only byte span (no copy).
+inline ByteSpan as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Number of leading zero bits in a 32-bit word; 32 for x == 0.
+/// Mirrors CUDA's `__clz` used by the MRR algorithm (paper Fig. 5 line 9).
+inline int count_leading_zeros(std::uint32_t x) {
+  return x == 0 ? 32 : std::countl_zero(x);
+}
+
+/// Integer ceiling division.
+template <typename T>
+constexpr T div_ceil(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `v` up to the next multiple of `mult`.
+template <typename T>
+constexpr T round_up(T v, T mult) {
+  return div_ceil(v, mult) * mult;
+}
+
+/// True when `v` is a power of two (and non-zero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v >= 1.
+constexpr unsigned floor_log2(std::uint64_t v) {
+  return 63u - static_cast<unsigned>(std::countl_zero(v | 1));
+}
+
+}  // namespace gompresso

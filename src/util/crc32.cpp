@@ -1,0 +1,47 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace gompresso {
+namespace {
+
+// Slice-by-4 tables, generated at static-init time from the reflected
+// polynomial 0xEDB88320.
+struct Crc32Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  Crc32Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Crc32Tables kTables;
+
+}  // namespace
+
+std::uint32_t crc32(ByteSpan data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFFu] ^ kTables.t[2][(crc >> 8) & 0xFFu] ^
+          kTables.t[1][(crc >> 16) & 0xFFu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n--) crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace gompresso

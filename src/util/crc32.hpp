@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial, the same checksum gzip uses).
+//
+// Every compressed Gompresso block stores the CRC of its uncompressed
+// content; the decompressor verifies it so that corruption-injection tests
+// can assert detection rather than silent garbage.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace gompresso {
+
+/// Computes CRC-32 over `data`, continuing from `seed` (pass 0 to start).
+std::uint32_t crc32(ByteSpan data, std::uint32_t seed = 0);
+
+}  // namespace gompresso

@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation for dataset synthesis and
+// property tests.
+//
+// The benchmarks must be reproducible run-to-run (EXPERIMENTS.md records
+// paper-vs-measured numbers), so all dataset generators are seeded with
+// fixed constants and use this self-contained generator rather than
+// std::mt19937 (whose distributions are not bit-stable across standard
+// library implementations).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gompresso {
+
+/// xorshift128+ generator: fast, decent statistical quality, fully
+/// deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to avoid correlated low-entropy states.
+    auto next_seed = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next_seed();
+    s1_ = next_seed();
+  }
+
+  std::uint64_t next_u64() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Modulo mapping;
+  /// bias is negligible for the bounds used here (all << 2^32).
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+/// Zipf(s) sampler over ranks {0, 1, ..., n-1} using inverse-CDF with a
+/// precomputed table. Natural-language word frequencies are approximately
+/// Zipfian, which is what gives the Wikipedia-like generator its
+/// gzip-comparable redundancy profile.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += 1.0 / std::pow(double(i + 1), s);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(double(i + 1), s) / sum;
+      cdf_[i] = acc;
+    }
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+
+  /// Draws a rank in [0, n); rank 0 is the most frequent.
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    // Binary search for the first cdf entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace gompresso

@@ -1,0 +1,91 @@
+#include "util/thread_pool.hpp"
+
+namespace gompresso {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  // The calling thread also works, so spawn one fewer worker.
+  const std::size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_job(Job& job) {
+  while (true) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    job.done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t served_generation = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && generation_ != served_generation);
+      });
+      if (stop_) return;
+      served_generation = generation_;
+      job = current_;  // shared ownership keeps the job alive past the caller
+    }
+    run_job(*job);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = job;
+    ++generation_;
+  }
+  cv_.notify_all();
+  run_job(*job);  // caller participates via the same common queue
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&job] {
+      return job->done.load(std::memory_order_acquire) >= job->count;
+    });
+    current_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gompresso

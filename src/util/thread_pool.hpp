@@ -1,0 +1,69 @@
+// Block-parallel work execution.
+//
+// The paper parallelises both Gompresso itself (inter-block parallelism,
+// §III) and the CPU baseline libraries (§V-D) by splitting the input into
+// equally-sized blocks and having worker threads pull block indices from a
+// common queue: "Once a thread has completed decompressing a data block,
+// it immediately processes the next block from a common queue. This
+// balances the load across CPU threads despite input-dependent processing
+// times." This pool implements exactly that discipline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gompresso {
+
+/// A fixed-size pool of worker threads executing indexed block jobs from a
+/// shared atomic counter (the "common queue" of §V-D).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for every i in [0, count), distributing indices across the
+  /// workers via a shared counter. Blocks until all indices are processed.
+  /// The calling thread participates in the work. Exceptions thrown by fn
+  /// are captured and the first one is rethrown on the caller.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  static void run_job(Job& job);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> current_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Singleton pool shared by the library's parallel codecs. Sized to the
+/// hardware concurrency of the host.
+ThreadPool& default_pool();
+
+}  // namespace gompresso

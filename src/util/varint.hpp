@@ -1,0 +1,54 @@
+// LEB128-style variable-length integers used by the container format
+// headers (sub-block size lists, Fig. 3 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace gompresso {
+
+/// Appends `v` to `out` as a little-endian base-128 varint.
+inline void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Reads a varint from `data` starting at `pos`, advancing `pos`.
+/// Throws gompresso::Error on truncated or over-long input.
+inline std::uint64_t get_varint(ByteSpan data, std::size_t& pos) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (true) {
+    check(pos < data.size(), "varint: truncated input");
+    check(shift < 64, "varint: value too long");
+    const std::uint8_t byte = data[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) return v;
+    shift += 7;
+  }
+}
+
+/// Appends a fixed-width little-endian u32.
+inline void put_u32le(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+/// Reads a fixed-width little-endian u32 at `pos`, advancing `pos`.
+inline std::uint32_t get_u32le(ByteSpan data, std::size_t& pos) {
+  check(pos + 4 <= data.size(), "u32: truncated input");
+  const std::uint32_t v = static_cast<std::uint32_t>(data[pos]) |
+                          (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+                          (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+                          (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+  pos += 4;
+  return v;
+}
+
+}  // namespace gompresso

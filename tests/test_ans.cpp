@@ -1,0 +1,144 @@
+// Unit and property tests for the tANS entropy coder.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ans/tans.hpp"
+#include "datagen/datasets.hpp"
+#include "util/rng.hpp"
+
+namespace gompresso::ans {
+namespace {
+
+TEST(Normalize, SumsToTableAndKeepsPresent) {
+  for (const unsigned log : {9u, 11u, 12u}) {
+    std::vector<std::uint64_t> freqs(256, 0);
+    Rng rng(log);
+    for (int i = 0; i < 50; ++i) freqs[rng.next_below(256)] += 1 + rng.next_below(100000);
+    const auto norm = normalize_frequencies(freqs, log);
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < 256; ++s) {
+      sum += norm[s];
+      if (freqs[s] != 0) EXPECT_GE(norm[s], 1u) << "present symbol dropped";
+      if (freqs[s] == 0) EXPECT_EQ(norm[s], 0u) << "absent symbol appeared";
+    }
+    EXPECT_EQ(sum, 1ull << log);
+  }
+}
+
+TEST(Normalize, EmptyInput) {
+  const auto norm = normalize_frequencies(std::vector<std::uint64_t>(256, 0), 11);
+  EXPECT_EQ(std::accumulate(norm.begin(), norm.end(), 0ull), 0ull);
+}
+
+TEST(Normalize, ExtremeSkew) {
+  std::vector<std::uint64_t> freqs(256, 0);
+  freqs['a'] = 1000000;
+  freqs['b'] = 1;
+  const auto norm = normalize_frequencies(freqs, 11);
+  EXPECT_GE(norm['b'], 1u);
+  EXPECT_EQ(norm['a'] + norm['b'], 2048u);
+  EXPECT_GT(norm['a'], 2000u);
+}
+
+TEST(Tans, EmptyRoundTrip) {
+  const Bytes empty;
+  const Bytes payload = encode(empty);
+  EXPECT_EQ(decode(payload), empty);
+}
+
+TEST(Tans, SingleSymbolRle) {
+  const Bytes input(100000, 'x');
+  const Bytes payload = encode(input);
+  EXPECT_LT(payload.size(), 32u);  // header only
+  EXPECT_EQ(decode(payload), input);
+}
+
+TEST(Tans, TwoSymbolStream) {
+  Rng rng(5);
+  Bytes input(50000);
+  for (auto& b : input) b = rng.next_below(10) == 0 ? 'b' : 'a';
+  const Bytes payload = encode(input);
+  EXPECT_LT(payload.size(), input.size() / 2);  // H ~ 0.47 bits/sym
+  EXPECT_EQ(decode(payload), input);
+}
+
+TEST(Tans, NearEntropyOnSkewedBytes) {
+  // Geometric-ish distribution: entropy well below 8 bits.
+  Rng rng(6);
+  Bytes input(100000);
+  for (auto& b : input) {
+    const auto r = rng.next_below(100);
+    b = r < 50 ? 0 : r < 75 ? 1 : r < 88 ? 2 : static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  // Empirical entropy.
+  std::vector<double> p(256, 0);
+  for (const auto b : input) p[b] += 1;
+  double h = 0;
+  for (const auto c : p) {
+    if (c > 0) h -= c / input.size() * std::log2(c / input.size());
+  }
+  const Bytes payload = encode(input);
+  const double bits_per_sym = 8.0 * payload.size() / input.size();
+  EXPECT_LT(bits_per_sym, h + 0.25) << "tANS should be within ~0.25 bits of entropy";
+  EXPECT_EQ(decode(payload), input);
+}
+
+class TansRoundTrip : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(TansRoundTrip, RandomAndRealisticData) {
+  const auto [which, table_log] = GetParam();
+  Bytes input;
+  switch (which) {
+    case 0: input = datagen::random_bytes(40000, 1); break;
+    case 1: input = datagen::wikipedia(40000); break;
+    case 2: input = datagen::matrix(40000); break;
+    case 3: input = Bytes{0x00}; break;
+    case 4: {
+      input.resize(517);  // odd size, tiny alphabet
+      Rng rng(9);
+      for (auto& b : input) b = static_cast<std::uint8_t>(rng.next_below(3) + 'p');
+      break;
+    }
+    default: FAIL();
+  }
+  const Bytes payload = encode(input, table_log);
+  EXPECT_EQ(decode(payload), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, TansRoundTrip,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values(9u, 11u, 13u)));
+
+TEST(Tans, CorruptPayloadDetected) {
+  const Bytes input = datagen::wikipedia(20000);
+  const Bytes payload = encode(input);
+  // Header corruptions must throw; bitstream corruptions either throw or
+  // produce different output (caught by the container CRC in real use).
+  for (std::size_t at = 0; at < payload.size(); at += payload.size() / 23 + 1) {
+    Bytes bad = payload;
+    bad[at] ^= 0x41;
+    try {
+      const Bytes back = decode(bad);
+      EXPECT_NE(back, input) << "undetected corruption at " << at;
+    } catch (const Error&) {
+      // expected for structural damage
+    }
+  }
+}
+
+TEST(Tans, TruncatedPayloadThrows) {
+  const Bytes input = datagen::matrix(20000);
+  const Bytes payload = encode(input);
+  Bytes cut(payload.begin(), payload.begin() + 3);
+  EXPECT_THROW(decode(cut), Error);
+  EXPECT_THROW(decode(Bytes{}), Error);
+}
+
+TEST(Tans, RejectsBadTableLog) {
+  EXPECT_THROW(encode(Bytes(10, 'a'), 3), Error);
+  EXPECT_THROW(encode(Bytes(10, 'a'), 20), Error);
+}
+
+}  // namespace
+}  // namespace gompresso::ans

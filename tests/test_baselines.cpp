@@ -1,0 +1,142 @@
+// Tests for the §V-D baseline codecs and the block-parallel wrapper.
+#include <gtest/gtest.h>
+
+#include "baselines/block_parallel.hpp"
+#include "baselines/codec.hpp"
+#include "baselines/deflate_like.hpp"
+#include "datagen/datasets.hpp"
+#include "util/rng.hpp"
+
+namespace gompresso::baselines {
+namespace {
+
+std::unique_ptr<Codec> make_codec(int id) {
+  switch (id) {
+    case 0: return make_lz4_like();
+    case 1: return make_snappy_like();
+    case 2: return make_deflate_like();
+    case 3: return make_zstd_like();
+  }
+  return nullptr;
+}
+
+class BaselineRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BaselineRoundTrip, SingleBlock) {
+  const auto [codec_id, which] = GetParam();
+  const auto codec = make_codec(codec_id);
+  Bytes input;
+  switch (which) {
+    case 0: input = datagen::wikipedia(120000); break;
+    case 1: input = datagen::matrix(120000); break;
+    case 2: input = datagen::random_bytes(60000); break;
+    case 3: input = Bytes(90000, 'e'); break;
+    case 4: input = Bytes{}; break;
+    case 5: input = Bytes{'q'}; break;
+    case 6: {
+      Rng rng(17);
+      input.resize(33333);
+      for (auto& b : input) b = static_cast<std::uint8_t>('a' + rng.next_below(4));
+      break;
+    }
+    default: FAIL();
+  }
+  const Bytes payload = codec->compress_block(input);
+  EXPECT_EQ(codec->decompress_block(payload), input)
+      << codec->name() << " dataset " << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(CodecsAndInputs, BaselineRoundTrip,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 2, 3, 4, 5, 6)));
+
+TEST(BaselineRatios, ExpectedOrderingOnText) {
+  // Bit-level codecs out-compress byte-level ones on text; every real
+  // compressor beats size on compressible input.
+  const Bytes input = datagen::wikipedia(400000);
+  const double lz4 = static_cast<double>(input.size()) /
+                     make_lz4_like()->compress_block(input).size();
+  const double snappy = static_cast<double>(input.size()) /
+                        make_snappy_like()->compress_block(input).size();
+  const double zlib = static_cast<double>(input.size()) /
+                      make_deflate_like()->compress_block(input).size();
+  const double zstd = static_cast<double>(input.size()) /
+                      make_zstd_like()->compress_block(input).size();
+  EXPECT_GT(lz4, 1.3);
+  EXPECT_GT(snappy, 1.3);
+  EXPECT_GT(zlib, lz4) << "entropy stage must beat byte-aligned tokens";
+  EXPECT_GT(zlib, snappy);
+  EXPECT_GT(zstd, lz4);
+}
+
+TEST(BaselineRatios, IncompressibleExpandsOnlySlightly) {
+  const Bytes input = datagen::random_bytes(100000);
+  for (int id = 0; id < 4; ++id) {
+    const auto codec = make_codec(id);
+    const Bytes payload = codec->compress_block(input);
+    EXPECT_LT(payload.size(), input.size() + input.size() / 8 + 1024) << codec->name();
+  }
+}
+
+TEST(DeflateChainDepth, DeeperChainsCompressBetter) {
+  const Bytes input = datagen::wikipedia(300000);
+  const DeflateLike shallow(1);
+  const DeflateLike deep(64);
+  const Bytes p_shallow = shallow.compress_block(input);
+  const Bytes p_deep = deep.compress_block(input);
+  EXPECT_LE(p_deep.size(), p_shallow.size());
+  EXPECT_EQ(deep.decompress_block(p_deep), input);
+}
+
+TEST(BlockParallel, RoundTripAllCodecs) {
+  const Bytes input = datagen::matrix(5 * 1024 * 1024);  // several 2 MB blocks
+  for (int id = 0; id < 4; ++id) {
+    const auto codec = make_codec(id);
+    const Bytes file = compress_parallel(*codec, input);
+    EXPECT_EQ(decompress_parallel(*codec, file), input) << codec->name();
+  }
+}
+
+TEST(BlockParallel, CustomBlockSizeAndThreads) {
+  const Bytes input = datagen::wikipedia(700000);
+  const auto codec = make_lz4_like();
+  for (const std::uint32_t bs : {64u * 1024u, 256u * 1024u}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const Bytes file = compress_parallel(*codec, input, bs, threads);
+      EXPECT_EQ(decompress_parallel(*codec, file, threads), input)
+          << "bs=" << bs << " threads=" << threads;
+    }
+  }
+}
+
+TEST(BlockParallel, EmptyInput) {
+  const auto codec = make_snappy_like();
+  const Bytes file = compress_parallel(*codec, Bytes{});
+  EXPECT_TRUE(decompress_parallel(*codec, file).empty());
+}
+
+TEST(BlockParallel, CorruptBlockDetectedByCrc) {
+  const Bytes input = datagen::wikipedia(300000);
+  const auto codec = make_lz4_like();
+  Bytes file = compress_parallel(*codec, input, 64 * 1024);
+  // Flip a byte in the middle of the payload area.
+  file[file.size() / 2] ^= 0xFF;
+  EXPECT_THROW(decompress_parallel(*codec, file), Error);
+}
+
+TEST(BlockParallel, BadMagicThrows) {
+  Bytes junk = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto codec = make_lz4_like();
+  EXPECT_THROW(decompress_parallel(*codec, junk), Error);
+}
+
+TEST(BlockParallel, TruncatedFileThrows) {
+  const Bytes input = datagen::matrix(200000);
+  const auto codec = make_zstd_like();
+  const Bytes file = compress_parallel(*codec, input, 64 * 1024);
+  Bytes cut(file.begin(), file.begin() + static_cast<std::ptrdiff_t>(file.size() / 2));
+  EXPECT_THROW(decompress_parallel(*codec, cut), Error);
+}
+
+}  // namespace
+}  // namespace gompresso::baselines

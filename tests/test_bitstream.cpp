@@ -1,0 +1,146 @@
+// Unit tests for the LSB-first bit writer/reader, including the
+// arbitrary-bit-offset reads that parallel sub-block decoding relies on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "bitstream/bit_reader.hpp"
+#include "bitstream/bit_writer.hpp"
+#include "util/rng.hpp"
+
+namespace gompresso {
+namespace {
+
+TEST(BitWriter, SingleByteLsbFirst) {
+  BitWriter w;
+  w.write(0b1, 1);
+  w.write(0b01, 2);
+  w.write(0b10101, 5);
+  const Bytes out = w.finish();
+  ASSERT_EQ(out.size(), 1u);
+  // bit layout (LSB first): 1, then 01, then 10101 -> 0b10101_01_1.
+  EXPECT_EQ(out[0], 0b10101011);
+}
+
+TEST(BitWriter, BitCountTracksWrites) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write(0, 3);
+  EXPECT_EQ(w.bit_count(), 3u);
+  w.write(0x7FF, 11);
+  EXPECT_EQ(w.bit_count(), 14u);
+  w.align_to_byte();
+  EXPECT_EQ(w.bit_count(), 16u);
+}
+
+TEST(BitWriter, ZeroWidthWriteIsNoop) {
+  BitWriter w;
+  w.write(0, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_TRUE(w.finish().empty());
+}
+
+TEST(BitWriter, FinishResetsState) {
+  BitWriter w;
+  w.write(0xAB, 8);
+  EXPECT_EQ(w.finish().size(), 1u);
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write(0x1, 1);
+  EXPECT_EQ(w.finish().size(), 1u);
+}
+
+TEST(BitReader, ReadsBackWrites) {
+  BitWriter w;
+  w.write(0x5, 3);
+  w.write(0x1234, 16);
+  w.write(0x1FFFFF, 21);
+  const Bytes buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.read(3), 0x5u);
+  EXPECT_EQ(r.read(16), 0x1234u);
+  EXPECT_EQ(r.read(21), 0x1FFFFFu);
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitReader, PeekDoesNotConsume) {
+  BitWriter w;
+  w.write(0xE5, 8);
+  const Bytes buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.peek(4), 0x5u);
+  EXPECT_EQ(r.peek(8), 0xE5u);
+  EXPECT_EQ(r.bit_pos(), 0u);
+  r.consume(4);
+  EXPECT_EQ(r.peek(4), 0xEu);
+  EXPECT_EQ(r.bit_pos(), 4u);
+}
+
+TEST(BitReader, StartAtArbitraryBitOffset) {
+  BitWriter w;
+  for (int i = 0; i < 64; ++i) w.write(static_cast<std::uint64_t>(i & 1), 1);
+  w.write(0x2AB, 10);
+  const Bytes buf = w.finish();
+  BitReader r(buf, 64);
+  EXPECT_EQ(r.read(10), 0x2ABu);
+  // Offsets that are not byte-aligned.
+  BitReader r2(buf, 3);
+  EXPECT_EQ(r2.read(1), 1u);  // bit 3 of the 0101... pattern
+  BitReader r3(buf, 13);
+  EXPECT_EQ(r3.bit_pos(), 13u);
+}
+
+TEST(BitReader, PastEndReadsZeroAndSetsOverflow) {
+  const Bytes buf = {0xFF};
+  BitReader r(buf);
+  EXPECT_EQ(r.read(8), 0xFFu);
+  EXPECT_FALSE(r.overflowed());
+  EXPECT_EQ(r.read(8), 0u);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(BitReader, EmptyBufferOverflowsImmediately) {
+  const Bytes buf;
+  BitReader r(buf);
+  EXPECT_EQ(r.read(1), 0u);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(BitReader, StartOffsetBeyondEnd) {
+  const Bytes buf = {0x00, 0x01};
+  BitReader r(buf, 100);
+  EXPECT_EQ(r.read(5), 0u);
+  EXPECT_TRUE(r.overflowed());
+}
+
+// Property sweep: random (value, width) streams round-trip at every
+// starting alignment.
+class BitstreamRoundTrip : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(BitstreamRoundTrip, RandomStream) {
+  const auto [seed, lead_bits] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<std::pair<std::uint64_t, unsigned>> tokens;
+  BitWriter w;
+  w.write(0, lead_bits);  // force an unaligned start for the payload
+  for (int i = 0; i < 2000; ++i) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(32));
+    const std::uint64_t value = rng.next_u64() & ((1ull << width) - 1);
+    tokens.emplace_back(value, width);
+    w.write(value, width);
+  }
+  const Bytes buf = w.finish();
+  BitReader r(buf, lead_bits);
+  for (const auto& [value, width] : tokens) {
+    ASSERT_EQ(r.read(width), value);
+  }
+  EXPECT_FALSE(r.overflowed());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Alignments, BitstreamRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0u, 1u, 3u, 7u, 8u, 13u)));
+
+}  // namespace
+}  // namespace gompresso

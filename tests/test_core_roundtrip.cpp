@@ -1,0 +1,197 @@
+// Parameterized end-to-end round-trip sweep over the compressor's
+// configuration space (codec x DE x block size x window x sub-block size
+// x CWL) and datasets, plus option validation.
+#include <gtest/gtest.h>
+
+#include "core/gompresso.hpp"
+#include "datagen/datasets.hpp"
+
+namespace gompresso {
+namespace {
+
+Bytes dataset(int which, std::size_t n) {
+  switch (which) {
+    case 0: return datagen::wikipedia(n);
+    case 1: return datagen::matrix(n);
+    case 2: return datagen::random_bytes(n);
+    default: return Bytes(n, 'd');
+  }
+}
+
+class RoundTripSweep
+    : public ::testing::TestWithParam<
+          std::tuple<Codec, bool, std::uint32_t, std::uint32_t, int>> {};
+
+TEST_P(RoundTripSweep, CompressDecompress) {
+  const auto [codec, de, block_size, tokens_per_subblock, which] = GetParam();
+  const Bytes input = dataset(which, 300000);
+  CompressOptions opt;
+  opt.codec = codec;
+  opt.dependency_elimination = de;
+  opt.block_size = block_size;
+  opt.tokens_per_subblock = tokens_per_subblock;
+  CompressStats stats;
+  const Bytes file = compress(input, opt, &stats);
+  EXPECT_EQ(stats.input_bytes, input.size());
+  EXPECT_EQ(stats.output_bytes, file.size());
+  EXPECT_EQ(stats.blocks, div_ceil<std::size_t>(input.size(), block_size));
+
+  const DecompressResult result = decompress(file);
+  EXPECT_EQ(result.data, input);
+  EXPECT_EQ(result.strategy_used,
+            de ? Strategy::kDependencyFree : Strategy::kMultiRound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, RoundTripSweep,
+    ::testing::Combine(::testing::Values(Codec::kByte, Codec::kBit),
+                       ::testing::Bool(),
+                       ::testing::Values(32u * 1024u, 256u * 1024u),
+                       ::testing::Values(4u, 16u, 64u),
+                       ::testing::Values(0, 1, 2, 3)));
+
+class WindowSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WindowSweep, RoundTripsAndRatioGrowsWithWindow) {
+  const std::uint32_t window = GetParam();
+  const Bytes input = datagen::wikipedia(300000);
+  CompressOptions opt;
+  opt.window_size = window;
+  const Bytes file = compress(input, opt);
+  EXPECT_EQ(decompress_bytes(file), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(1024u, 4096u, 8192u, 32768u));
+
+class CwlSweep : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(CwlSweep, RoundTrips) {
+  const Bytes input = datagen::matrix(200000);
+  CompressOptions opt;
+  opt.codec = Codec::kBit;
+  opt.codeword_limit = GetParam();
+  const Bytes file = compress(input, opt);
+  EXPECT_EQ(decompress_bytes(file), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, CwlSweep,
+                         ::testing::Values(std::uint8_t{9}, std::uint8_t{10},
+                                           std::uint8_t{12}, std::uint8_t{15}));
+
+TEST(RoundTrip, MaxMatchVariants) {
+  const Bytes input = datagen::wikipedia(200000);
+  for (const std::uint32_t mm : {16u, 64u, 258u}) {
+    CompressOptions opt;
+    opt.max_match = mm;
+    const Bytes file = compress(input, opt);
+    EXPECT_EQ(decompress_bytes(file), input) << "max_match=" << mm;
+  }
+}
+
+TEST(RoundTrip, ExactBlockBoundary) {
+  // Input exactly divisible by block size, and off-by-one around it.
+  for (const std::size_t n : {std::size_t{65536}, std::size_t{65535}, std::size_t{65537},
+                              std::size_t{131072}}) {
+    const Bytes input = dataset(0, n);
+    CompressOptions opt;
+    opt.block_size = 65536;
+    const Bytes file = compress(input, opt);
+    EXPECT_EQ(decompress_bytes(file), input) << "n=" << n;
+  }
+}
+
+TEST(RoundTrip, ThreadCountsAgree) {
+  const Bytes input = datagen::matrix(600000);
+  CompressOptions opt;
+  opt.block_size = 64 * 1024;
+  opt.num_threads = 1;
+  const Bytes serial = compress(input, opt);
+  opt.num_threads = 4;
+  const Bytes parallel = compress(input, opt);
+  EXPECT_EQ(serial, parallel) << "compression must be deterministic across thread counts";
+  DecompressOptions dopt;
+  dopt.num_threads = 4;
+  EXPECT_EQ(decompress(serial, dopt).data, input);
+}
+
+TEST(RoundTrip, RatioStatsAreConsistent) {
+  const Bytes input = datagen::wikipedia(500000);
+  CompressOptions opt;
+  CompressStats stats;
+  const Bytes file = compress(input, opt, &stats);
+  EXPECT_NEAR(stats.ratio(), static_cast<double>(input.size()) / file.size(), 1e-9);
+  EXPECT_EQ(stats.parse.match_bytes + stats.parse.literal_bytes, input.size());
+}
+
+TEST(Options, ValidationRejectsBadConfigs) {
+  const Bytes input(2048, 'v');
+  {
+    CompressOptions opt;
+    opt.block_size = 100;  // < 1 KiB
+    EXPECT_THROW(compress(input, opt), Error);
+  }
+  {
+    CompressOptions opt;
+    opt.window_size = 1000;  // not a power of two
+    EXPECT_THROW(compress(input, opt), Error);
+  }
+  {
+    CompressOptions opt;
+    opt.window_size = 65536;  // > 32768
+    EXPECT_THROW(compress(input, opt), Error);
+  }
+  {
+    CompressOptions opt;
+    opt.min_match = 2;
+    EXPECT_THROW(compress(input, opt), Error);
+  }
+  {
+    CompressOptions opt;
+    opt.max_match = 300;  // > 258
+    EXPECT_THROW(compress(input, opt), Error);
+  }
+  {
+    CompressOptions opt;
+    opt.tokens_per_subblock = 0;
+    EXPECT_THROW(compress(input, opt), Error);
+  }
+  {
+    CompressOptions opt;
+    opt.codeword_limit = 8;  // < 9 cannot hold a 286-symbol alphabet
+    EXPECT_THROW(compress(input, opt), Error);
+  }
+}
+
+TEST(Options, DeStrategyOnNonDeFileRejected) {
+  const Bytes input = dataset(0, 50000);
+  CompressOptions opt;
+  opt.dependency_elimination = false;
+  const Bytes file = compress(input, opt);
+  DecompressOptions dopt;
+  dopt.auto_strategy = false;
+  dopt.strategy = Strategy::kDependencyFree;
+  EXPECT_THROW(decompress(file, dopt), Error);
+}
+
+TEST(Options, StrategyNames) {
+  EXPECT_STREQ(strategy_name(Strategy::kSequentialCopy), "SC");
+  EXPECT_STREQ(strategy_name(Strategy::kMultiRound), "MRR");
+  EXPECT_STREQ(strategy_name(Strategy::kDependencyFree), "DE");
+  EXPECT_STREQ(strategy_name(Strategy::kMultiPass), "MRR-multipass");
+}
+
+TEST(Metrics, DecompressionReportsWarpActivity) {
+  const Bytes input = datagen::wikipedia(300000);
+  CompressOptions opt;
+  opt.dependency_elimination = false;
+  const Bytes file = compress(input, opt);
+  const DecompressResult r = decompress(file);
+  EXPECT_GT(r.metrics.groups, 0u);
+  EXPECT_GE(r.metrics.rounds, r.metrics.groups);
+  EXPECT_GT(r.metrics.ballots, 0u);
+  EXPECT_FALSE(r.metrics.bytes_per_round.empty());
+}
+
+}  // namespace
+}  // namespace gompresso

@@ -1,0 +1,96 @@
+// Unit tests for the container format header (paper Fig. 3).
+#include <gtest/gtest.h>
+
+#include "format/header.hpp"
+
+namespace gompresso::format {
+namespace {
+
+FileHeader sample_header() {
+  FileHeader h;
+  h.codec = Codec::kBit;
+  h.dependency_elimination = true;
+  h.codeword_limit = 10;
+  h.window_size = 8192;
+  h.min_match = 3;
+  h.max_match = 64;
+  h.block_size = 256 * 1024;
+  h.tokens_per_subblock = 16;
+  h.uncompressed_size = 123456789;
+  h.block_compressed_sizes = {1000, 2000, 30000, 5};
+  return h;
+}
+
+TEST(FileHeaderTest, RoundTrip) {
+  const FileHeader h = sample_header();
+  const Bytes buf = h.serialize();
+  std::size_t pos = 0;
+  const FileHeader g = FileHeader::deserialize(buf, pos);
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(g.codec, h.codec);
+  EXPECT_EQ(g.dependency_elimination, h.dependency_elimination);
+  EXPECT_EQ(g.codeword_limit, h.codeword_limit);
+  EXPECT_EQ(g.window_size, h.window_size);
+  EXPECT_EQ(g.min_match, h.min_match);
+  EXPECT_EQ(g.max_match, h.max_match);
+  EXPECT_EQ(g.block_size, h.block_size);
+  EXPECT_EQ(g.tokens_per_subblock, h.tokens_per_subblock);
+  EXPECT_EQ(g.uncompressed_size, h.uncompressed_size);
+  EXPECT_EQ(g.block_compressed_sizes, h.block_compressed_sizes);
+  EXPECT_EQ(g.num_blocks(), 4u);
+}
+
+TEST(FileHeaderTest, ByteCodecRoundTrip) {
+  FileHeader h = sample_header();
+  h.codec = Codec::kByte;
+  h.dependency_elimination = false;
+  const Bytes buf = h.serialize();
+  std::size_t pos = 0;
+  const FileHeader g = FileHeader::deserialize(buf, pos);
+  EXPECT_EQ(g.codec, Codec::kByte);
+  EXPECT_FALSE(g.dependency_elimination);
+}
+
+TEST(FileHeaderTest, BadMagicThrows) {
+  Bytes buf = sample_header().serialize();
+  buf[0] ^= 0xFF;
+  std::size_t pos = 0;
+  EXPECT_THROW(FileHeader::deserialize(buf, pos), Error);
+}
+
+TEST(FileHeaderTest, BadVersionThrows) {
+  Bytes buf = sample_header().serialize();
+  buf[4] = 99;
+  std::size_t pos = 0;
+  EXPECT_THROW(FileHeader::deserialize(buf, pos), Error);
+}
+
+TEST(FileHeaderTest, UnknownCodecThrows) {
+  Bytes buf = sample_header().serialize();
+  buf[5] = 7;
+  std::size_t pos = 0;
+  EXPECT_THROW(FileHeader::deserialize(buf, pos), Error);
+}
+
+TEST(FileHeaderTest, TruncationThrows) {
+  const Bytes buf = sample_header().serialize();
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{6},
+                                 buf.size() / 2, buf.size() - 1}) {
+    Bytes cut(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(keep));
+    std::size_t pos = 0;
+    EXPECT_THROW(FileHeader::deserialize(cut, pos), Error) << "keep=" << keep;
+  }
+}
+
+TEST(FileHeaderTest, EmptyBlockListAllowed) {
+  FileHeader h = sample_header();
+  h.block_compressed_sizes.clear();
+  h.uncompressed_size = 0;
+  const Bytes buf = h.serialize();
+  std::size_t pos = 0;
+  const FileHeader g = FileHeader::deserialize(buf, pos);
+  EXPECT_EQ(g.num_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace gompresso::format

@@ -1,0 +1,223 @@
+// Unit and property tests for the Huffman substrate: package-merge code
+// construction, canonical assignment, encode/decode tables,
+// serialisation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "bitstream/bit_reader.hpp"
+#include "bitstream/bit_writer.hpp"
+#include "huffman/code_builder.hpp"
+#include "huffman/decoder.hpp"
+#include "huffman/encoder.hpp"
+#include "huffman/histogram.hpp"
+#include "huffman/serial.hpp"
+#include "util/rng.hpp"
+
+namespace gompresso::huffman {
+namespace {
+
+std::vector<std::uint64_t> random_freqs(std::size_t n, std::uint64_t seed,
+                                        bool allow_zero = true) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> f(n);
+  for (auto& v : f) {
+    v = allow_zero && rng.next_below(4) == 0 ? 0 : 1 + rng.next_below(10000);
+  }
+  return f;
+}
+
+TEST(Histogram, CountsAndDistinct) {
+  Histogram h(10);
+  h.add(3);
+  h.add(3, 5);
+  h.add(7);
+  EXPECT_EQ(h.count(3), 6u);
+  EXPECT_EQ(h.count(7), 1u);
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.distinct(), 2u);
+  EXPECT_EQ(h.alphabet_size(), 10u);
+}
+
+TEST(CodeBuilder, EmptyAlphabet) {
+  const auto lengths = build_code_lengths({0, 0, 0}, 10);
+  EXPECT_EQ(lengths, (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+TEST(CodeBuilder, SingleSymbolGetsLengthOne) {
+  const auto lengths = build_code_lengths({0, 42, 0}, 10);
+  EXPECT_EQ(lengths, (std::vector<std::uint8_t>{0, 1, 0}));
+}
+
+TEST(CodeBuilder, TwoSymbols) {
+  const auto lengths = build_code_lengths({5, 100}, 10);
+  EXPECT_EQ(lengths, (std::vector<std::uint8_t>{1, 1}));
+}
+
+TEST(CodeBuilder, RespectsLengthLimit) {
+  // Extremely skewed distribution would want very long codes.
+  std::vector<std::uint64_t> freqs;
+  std::uint64_t f = 1;
+  for (int i = 0; i < 30; ++i) {
+    freqs.push_back(f);
+    f = f * 2 + 1;
+  }
+  for (const unsigned limit : {5u, 8u, 10u, 15u}) {
+    const auto lengths = build_code_lengths(freqs, limit);
+    for (const auto len : lengths) {
+      EXPECT_GT(len, 0u);
+      EXPECT_LE(len, limit);
+    }
+    // A length-limited code must still satisfy Kraft with equality (the
+    // package-merge result is complete).
+    EXPECT_EQ(kraft_sum(lengths, limit), 1ull << limit);
+  }
+}
+
+TEST(CodeBuilder, ThrowsWhenLimitTooSmall) {
+  std::vector<std::uint64_t> freqs(10, 1);  // 10 symbols need >= 4 bits
+  EXPECT_THROW(build_code_lengths(freqs, 3), Error);
+  EXPECT_NO_THROW(build_code_lengths(freqs, 4));
+}
+
+TEST(CodeBuilder, MatchesHuffmanCostWhenUnconstrained) {
+  // With a generous limit, package-merge yields an optimal (Huffman)
+  // code; verify total cost against a classic two-queue Huffman build.
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const auto freqs = random_freqs(64, seed, false);
+    const auto lengths = build_code_lengths(freqs, 15);
+    std::uint64_t pm_cost = 0;
+    for (std::size_t s = 0; s < freqs.size(); ++s) pm_cost += freqs[s] * lengths[s];
+
+    // Reference Huffman cost: repeatedly merge two smallest weights; the
+    // total cost equals the sum of all internal node weights.
+    std::multimap<std::uint64_t, int> heap;
+    for (const auto f : freqs) heap.emplace(f, 0);
+    std::uint64_t huff_cost = 0;
+    while (heap.size() > 1) {
+      const auto a = heap.begin()->first;
+      heap.erase(heap.begin());
+      const auto b = heap.begin()->first;
+      heap.erase(heap.begin());
+      huff_cost += a + b;
+      heap.emplace(a + b, 0);
+    }
+    EXPECT_EQ(pm_cost, huff_cost) << "seed=" << seed;
+  }
+}
+
+TEST(CodeBuilder, MonotoneLengthsByFrequency) {
+  const auto freqs = random_freqs(100, 99, false);
+  const auto lengths = build_code_lengths(freqs, 15);
+  for (std::size_t a = 0; a < freqs.size(); ++a) {
+    for (std::size_t b = 0; b < freqs.size(); ++b) {
+      if (freqs[a] > freqs[b]) {
+        EXPECT_LE(lengths[a], lengths[b])
+            << "more frequent symbol must not get a longer code";
+      }
+    }
+  }
+}
+
+TEST(CanonicalCodes, PrefixFreeAndOrdered) {
+  const auto freqs = random_freqs(30, 5, false);
+  const auto lengths = build_code_lengths(freqs, 12);
+  const auto codes = assign_canonical_codes(lengths);
+  // Prefix-freedom: no code is a prefix of another (MSB-first).
+  for (std::size_t a = 0; a < codes.size(); ++a) {
+    for (std::size_t b = 0; b < codes.size(); ++b) {
+      if (a == b || codes[a].length == 0 || codes[b].length == 0) continue;
+      if (codes[a].length > codes[b].length) continue;
+      const unsigned shift = codes[b].length - codes[a].length;
+      EXPECT_FALSE((codes[b].code >> shift) == codes[a].code && a != b)
+          << "code " << a << " is a prefix of code " << b;
+    }
+  }
+}
+
+TEST(CanonicalCodes, OverSubscribedThrows) {
+  // Three symbols of length 1 violate Kraft.
+  EXPECT_THROW(assign_canonical_codes({1, 1, 1}), Error);
+}
+
+TEST(ReverseBits, Basic) {
+  EXPECT_EQ(reverse_bits(0b1, 1), 0b1u);
+  EXPECT_EQ(reverse_bits(0b10, 2), 0b01u);
+  EXPECT_EQ(reverse_bits(0b1101, 4), 0b1011u);
+  EXPECT_EQ(reverse_bits(0, 10), 0u);
+}
+
+TEST(Decoder, InvalidPatternYieldsInvalidSymbol) {
+  // Incomplete code: one symbol of length 2 leaves table holes.
+  std::vector<std::uint8_t> lengths = {2};
+  Decoder dec(lengths, 4);
+  BitWriter w;
+  w.write(0b11, 2);  // not the canonical code 00
+  const Bytes buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(dec.decode(r), Decoder::kInvalidSymbol);
+}
+
+TEST(Decoder, FootprintMatchesTableBits) {
+  std::vector<std::uint8_t> lengths = {1, 1};
+  Decoder dec(lengths, 10);
+  EXPECT_EQ(dec.table_size(), 1024u);
+  EXPECT_EQ(dec.footprint_bytes(), 1024u * 4u);
+}
+
+TEST(Serial, RoundTrip) {
+  const std::vector<std::uint8_t> lengths = {0, 1, 5, 10, 15, 0, 7};
+  BitWriter w;
+  write_code_lengths(lengths, w);
+  const Bytes buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(read_code_lengths(lengths.size(), r), lengths);
+}
+
+// Property: encode-then-decode round trips for random alphabets, symbol
+// streams, and codeword limits.
+class HuffmanRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned, int>> {};
+
+TEST_P(HuffmanRoundTrip, EncodeDecode) {
+  const auto [alphabet, limit, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + alphabet);
+  // Skewed frequencies: rank-based geometric-ish decay.
+  std::vector<std::uint64_t> freqs(alphabet);
+  for (std::size_t s = 0; s < alphabet; ++s) {
+    freqs[s] = 1 + rng.next_below(1 + 100000 / (s + 1));
+  }
+  const auto lengths = build_code_lengths(freqs, limit);
+  const auto codes = assign_canonical_codes(lengths);
+  const Encoder enc(codes);
+  const Decoder dec(lengths, limit);
+
+  std::vector<std::uint16_t> symbols(5000);
+  for (auto& s : symbols) s = static_cast<std::uint16_t>(rng.next_below(alphabet));
+  BitWriter w;
+  for (const auto s : symbols) enc.encode(s, w);
+  const std::uint64_t bits = w.bit_count();
+  const Bytes buf = w.finish();
+
+  // Cost accounting matches the bit count.
+  std::vector<std::uint64_t> stream_freqs(alphabet, 0);
+  for (const auto s : symbols) ++stream_freqs[s];
+  EXPECT_EQ(enc.cost_bits(stream_freqs), bits);
+
+  BitReader r(buf);
+  for (const auto expected : symbols) {
+    ASSERT_EQ(dec.decode(r), expected);
+  }
+  EXPECT_FALSE(r.overflowed());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphabetsAndLimits, HuffmanRoundTrip,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{27},
+                                         std::size_t{256}, std::size_t{286}),
+                       ::testing::Values(10u, 12u, 15u),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace gompresso::huffman

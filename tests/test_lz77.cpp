@@ -1,0 +1,340 @@
+// Unit and property tests for the LZ77 substrate: DEFLATE tables,
+// matchers (incl. the minimal-staleness policy and DE constraints), the
+// greedy parser, the DE parser invariant, and the reference decoder.
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.hpp"
+#include "lz77/deflate_tables.hpp"
+#include "lz77/matcher.hpp"
+#include "lz77/parser.hpp"
+#include "lz77/ref_decoder.hpp"
+#include "util/rng.hpp"
+
+namespace gompresso::lz77 {
+namespace {
+
+TEST(DeflateTables, AllLengthsRoundTrip) {
+  for (std::uint32_t len = kMinMatch; len <= kMaxMatch; ++len) {
+    const BucketCode bc = encode_length(len);
+    ASSERT_LT(bc.code, kNumLengthCodes);
+    EXPECT_EQ(length_extra_bits(bc.code), bc.extra_bits);
+    EXPECT_LT(bc.extra_value, 1u << bc.extra_bits << (bc.extra_bits ? 0 : 1));
+    EXPECT_EQ(decode_length(bc.code, bc.extra_value), len);
+  }
+}
+
+TEST(DeflateTables, AllDistancesRoundTrip) {
+  for (std::uint32_t d = 1; d <= kMaxDistance; ++d) {
+    const BucketCode bc = encode_distance(d);
+    ASSERT_LT(bc.code, kNumDistanceCodes);
+    EXPECT_EQ(distance_extra_bits(bc.code), bc.extra_bits);
+    EXPECT_EQ(decode_distance(bc.code, bc.extra_value), d);
+  }
+}
+
+TEST(DeflateTables, RfcSpotChecks) {
+  // RFC 1951 anchor points.
+  EXPECT_EQ(encode_length(3).code, 0u);
+  EXPECT_EQ(encode_length(258).code, 28u);
+  EXPECT_EQ(encode_length(258).extra_bits, 0u);
+  EXPECT_EQ(encode_length(11).code, 8u);
+  EXPECT_EQ(encode_length(11).extra_bits, 1u);
+  EXPECT_EQ(encode_distance(1).code, 0u);
+  EXPECT_EQ(encode_distance(5).code, 4u);
+  EXPECT_EQ(encode_distance(5).extra_bits, 1u);
+  EXPECT_EQ(encode_distance(24577).code, 29u);
+  EXPECT_EQ(encode_distance(32768).code, 29u);
+}
+
+TEST(MatchLength, FindsCommonPrefix) {
+  const Bytes data = {'a', 'b', 'c', 'd', 'x', 'a', 'b', 'c', 'd', 'y'};
+  EXPECT_EQ(match_length(data, 0, 5, 5), 4u);
+  EXPECT_EQ(match_length(data, 0, 5, 2), 2u);  // cap respected
+  EXPECT_EQ(match_length(data, 4, 9, 1), 0u);
+}
+
+TEST(MatchLength, LongMatchesUseWideCompare) {
+  Bytes data(100, 'q');
+  data.insert(data.end(), 100, 'q');
+  data[150] = 'z';
+  EXPECT_EQ(match_length(data, 0, 100, 100), 50u);
+}
+
+TEST(HashMatcher, FindsInsertedTrigram) {
+  MatcherConfig cfg;
+  cfg.staleness = 0;
+  HashMatcher m(cfg);
+  const std::string s = "hello world hello there";
+  const ByteSpan input = as_bytes(s);
+  for (std::uint32_t p = 0; p + 3 <= 11; ++p) m.insert(input, p);
+  const Match match = m.find(input, 12, 12);
+  ASSERT_TRUE(match.found());
+  EXPECT_EQ(match.pos, 0u);
+  EXPECT_EQ(match.len, 6u);  // "hello " including the trailing space
+}
+
+TEST(HashMatcher, RespectsWindow) {
+  MatcherConfig cfg;
+  cfg.window_size = 256;
+  cfg.staleness = 0;
+  HashMatcher m(cfg);
+  Bytes data(1000, 'x');
+  data[0] = 'a';
+  data[1] = 'b';
+  data[2] = 'c';
+  data[900] = 'a';
+  data[901] = 'b';
+  data[902] = 'c';
+  m.insert(data, 0);
+  // Candidate at 0 is 900 bytes back, outside the 256-byte window; the
+  // RLE probe at 899 ('x') does not match "abc".
+  EXPECT_FALSE(m.find(data, 900, 900).found());
+}
+
+TEST(HashMatcher, StalenessKeepsOldEntries) {
+  MatcherConfig cfg;
+  cfg.staleness = 1024;
+  HashMatcher m(cfg);
+  Bytes data(5000, 0);
+  // Same trigram at 0, 100 and 2000.
+  const char* pat = "XYZabc";
+  for (int i = 0; i < 6; ++i) data[0 + i] = pat[i];
+  for (int i = 0; i < 6; ++i) data[100 + i] = pat[i];
+  for (int i = 0; i < 6; ++i) data[2000 + i] = pat[i];
+  m.insert(data, 0);
+  m.insert(data, 100);  // within staleness of entry 0 -> keep 0
+  Match match = m.find(data, 2000, 2000);
+  ASSERT_TRUE(match.found());
+  EXPECT_EQ(match.pos, 0u);
+  m.insert(data, 2000);  // 2000 bytes behind -> replace
+  match = m.find(data, 2006, 2006);
+  // After replacement, the recent entry wins (probe from a fresh copy).
+  for (int i = 0; i < 6; ++i) data[3000 + i] = pat[i];
+  match = m.find(data, 3000, 3000);
+  ASSERT_TRUE(match.found());
+  EXPECT_EQ(match.pos, 2000u);
+}
+
+TEST(HashMatcher, ZeroStalenessAlwaysReplaces) {
+  MatcherConfig cfg;
+  cfg.staleness = 0;
+  HashMatcher m(cfg);
+  Bytes data(300, 0);
+  const char* pat = "QRSt";
+  for (int i = 0; i < 4; ++i) data[0 + i] = pat[i];
+  for (int i = 0; i < 4; ++i) data[50 + i] = pat[i];
+  for (int i = 0; i < 4; ++i) data[200 + i] = pat[i];
+  m.insert(data, 0);
+  m.insert(data, 50);
+  const Match match = m.find(data, 200, 200);
+  ASSERT_TRUE(match.found());
+  EXPECT_EQ(match.pos, 50u);
+}
+
+TEST(HashMatcher, RleProbeFindsRuns) {
+  MatcherConfig cfg;
+  cfg.staleness = 1024;
+  HashMatcher m(cfg);
+  Bytes data(100, 'r');
+  // No inserts at all: the pos-1 probe alone must find the run.
+  const Match match = m.find(data, 1, 1);
+  ASSERT_TRUE(match.found());
+  EXPECT_EQ(match.pos, 0u);
+  EXPECT_EQ(match.len, cfg.max_match);
+}
+
+TEST(DeConstraintTest, AllowedCapSemantics) {
+  DeConstraint de;
+  de.begin_group(100);
+  de.add_backref(120, 140);
+  de.add_backref(160, 170);
+  EXPECT_EQ(de.allowed_cap(50), 70u);    // run ends at first forbidden start
+  EXPECT_EQ(de.allowed_cap(119), 1u);    // right before a forbidden interval
+  EXPECT_EQ(de.allowed_cap(120), 0u);    // inside
+  EXPECT_EQ(de.allowed_cap(139), 0u);    // inside (last byte)
+  EXPECT_EQ(de.allowed_cap(140), 20u);   // literal gap between the two
+  EXPECT_EQ(de.allowed_cap(170), kNoLimit);  // past the last forbidden
+  de.begin_group(200);
+  EXPECT_EQ(de.allowed_cap(120), kNoLimit);  // previous group's refs cleared
+}
+
+TEST(ChainMatcher, FindsBestOfChain) {
+  MatcherConfig cfg;
+  cfg.window_size = 4096;
+  cfg.max_match = 64;
+  ChainMatcher m(cfg, 16);
+  const std::string s = "abcd____abcdefgh____abcdefgh";
+  const ByteSpan input = as_bytes(s);
+  for (std::uint32_t p = 0; p + 3 <= 20; ++p) m.insert(input, p);
+  const Match match = m.find(input, 20, 20);
+  ASSERT_TRUE(match.found());
+  EXPECT_EQ(match.pos, 8u);  // the longer candidate, deeper in the chain
+  EXPECT_EQ(match.len, 8u);
+}
+
+TEST(ChainMatcher, DepthOneBehavesGreedily) {
+  MatcherConfig cfg;
+  cfg.window_size = 4096;
+  ChainMatcher m(cfg, 1);
+  const std::string s = "abcdefgh____abcd____abcdefgh";
+  const ByteSpan input = as_bytes(s);
+  for (std::uint32_t p = 0; p + 3 <= 20; ++p) m.insert(input, p);
+  const Match match = m.find(input, 20, 20);
+  ASSERT_TRUE(match.found());
+  EXPECT_EQ(match.pos, 12u);  // most recent only
+}
+
+// Parser round trip on assorted inputs via the reference decoder.
+class ParserRoundTrip : public ::testing::TestWithParam<std::tuple<bool, int>> {};
+
+TEST_P(ParserRoundTrip, ReconstructsInput) {
+  const auto [de, which] = GetParam();
+  Bytes input;
+  switch (which) {
+    case 0: input = datagen::wikipedia(100000); break;
+    case 1: input = datagen::matrix(100000); break;
+    case 2: input = datagen::random_bytes(50000); break;
+    case 3: input = Bytes(70000, 'z'); break;
+    case 4: {
+      datagen::NestingConfig nc;
+      nc.families = 4;
+      input = datagen::make_nesting(60000, nc);
+      break;
+    }
+    default: FAIL();
+  }
+  ParserOptions opt;
+  opt.dependency_elimination = de;
+  ParseStats stats;
+  const TokenBlock tokens = parse(input, opt, &stats);
+  validate(tokens);
+  EXPECT_EQ(decode_reference(tokens), input);
+  EXPECT_EQ(stats.sequences, tokens.sequences.size());
+  EXPECT_EQ(stats.literal_bytes, tokens.literals.size());
+  EXPECT_EQ(stats.match_bytes + stats.literal_bytes, input.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, ParserRoundTrip,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Values(0, 1, 2, 3, 4)));
+
+// The DE invariant, checked directly on the parse output: within every
+// group of 32 sequences, no back-reference source may overlap the output
+// interval of another back-reference in the same group.
+TEST(DependencyElimination, NoIntraGroupBackrefDependencies) {
+  for (const int which : {0, 1, 3}) {
+    Bytes input = which == 0   ? datagen::wikipedia(200000)
+                  : which == 1 ? datagen::matrix(200000)
+                               : Bytes(150000, 'k');
+    ParserOptions opt;
+    opt.dependency_elimination = true;
+    const TokenBlock tokens = parse(input, opt, nullptr);
+    validate(tokens);
+
+    std::uint64_t out_pos = 0;
+    std::size_t i = 0;
+    while (i < tokens.sequences.size()) {
+      const std::size_t group_end = std::min(i + 32, tokens.sequences.size());
+      const std::uint64_t group_base = out_pos;
+      // Collect this group's back-reference output intervals.
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> ref_out;
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> ref_src;
+      std::vector<std::uint64_t> own_start;
+      for (std::size_t k = i; k < group_end; ++k) {
+        const Sequence& s = tokens.sequences[k];
+        own_start.push_back(out_pos);
+        out_pos += s.literal_len;
+        if (s.match_len != 0) {
+          ref_src.emplace_back(out_pos - s.match_dist,
+                               out_pos - s.match_dist + s.match_len);
+          ref_out.emplace_back(out_pos, out_pos + s.match_len);
+          out_pos += s.match_len;
+        } else {
+          ref_src.emplace_back(0, 0);
+          ref_out.emplace_back(out_pos, out_pos);
+        }
+      }
+      // No source interval may intersect another lane's output interval,
+      // unless it is the lane's own forward-copy overlap.
+      for (std::size_t a = 0; a < ref_src.size(); ++a) {
+        const auto [sa, ea] = ref_src[a];
+        if (sa == ea) continue;
+        for (std::size_t b = 0; b < ref_out.size(); ++b) {
+          const auto [ob, eb] = ref_out[b];
+          if (ob == eb) continue;
+          const bool intersects = sa < eb && ob < ea;
+          if (!intersects) continue;
+          // Permitted only when reading one's own output: a forward
+          // self-copy (dist >= 1) may overlap its own interval, and may
+          // begin below it (in prior-group output or group literals).
+          EXPECT_TRUE(a == b)
+              << "group at " << group_base << ": lane " << a
+              << " source [" << sa << "," << ea << ") overlaps lane " << b
+              << " output [" << ob << "," << eb << ")";
+        }
+      }
+      i = group_end;
+    }
+  }
+}
+
+TEST(DependencyElimination, CostsSomeCompressionRatio) {
+  const Bytes input = datagen::wikipedia(400000);
+  ParserOptions base;
+  ParseStats s_plain, s_de;
+  const TokenBlock plain = parse(input, base, &s_plain);
+  ParserOptions de_opt = base;
+  de_opt.dependency_elimination = true;
+  const TokenBlock de = parse(input, de_opt, &s_de);
+  // DE must not *gain* matches, and the paper reports a modest loss.
+  EXPECT_LE(s_de.match_bytes, s_plain.match_bytes);
+  EXPECT_GT(s_de.match_bytes, s_plain.match_bytes / 2)
+      << "DE should lose far less than half the match coverage";
+}
+
+TEST(RefDecoder, RejectsBadDistance) {
+  TokenBlock block;
+  block.sequences.push_back({2, 5, 10});  // distance 10 > 2 bytes produced
+  block.sequences.push_back({0, 0, 0});
+  block.literals = {'a', 'b'};
+  block.uncompressed_size = 7;
+  EXPECT_THROW(decode_reference(block), Error);
+}
+
+TEST(RefDecoder, RejectsLiteralMismatch) {
+  TokenBlock block;
+  block.sequences.push_back({3, 0, 0});
+  block.literals = {'a', 'b'};  // claims 3, provides 2
+  block.uncompressed_size = 3;
+  EXPECT_THROW(validate(block), Error);
+}
+
+TEST(RefDecoder, RejectsMissingTerminator) {
+  TokenBlock block;
+  block.sequences.push_back({1, 3, 1});
+  block.literals = {'a'};
+  block.uncompressed_size = 4;
+  EXPECT_THROW(validate(block), Error);
+}
+
+TEST(RefDecoder, OverlappingRunSemantics) {
+  TokenBlock block;
+  block.sequences.push_back({1, 7, 1});  // 'a' then 7 copies at dist 1
+  block.sequences.push_back({0, 0, 0});
+  block.literals = {'a'};
+  block.uncompressed_size = 8;
+  EXPECT_EQ(decode_reference(block), Bytes(8, 'a'));
+}
+
+TEST(RefDecoder, AlternatingOverlap) {
+  TokenBlock block;
+  block.sequences.push_back({2, 6, 2});  // "ab" -> "abababab"
+  block.sequences.push_back({0, 0, 0});
+  block.literals = {'a', 'b'};
+  block.uncompressed_size = 8;
+  const Bytes expect = {'a', 'b', 'a', 'b', 'a', 'b', 'a', 'b'};
+  EXPECT_EQ(decode_reference(block), expect);
+}
+
+}  // namespace
+}  // namespace gompresso::lz77

@@ -1,0 +1,129 @@
+// Tests for the device models: PCIe transfer, energy, and the calibrated
+// K40 cost model (monotonicity and calibration-point properties).
+#include <gtest/gtest.h>
+
+#include "sim/energy_model.hpp"
+#include "sim/gpu_cost_model.hpp"
+#include "sim/pcie_model.hpp"
+
+namespace gompresso::sim {
+namespace {
+
+TEST(Pcie, TransferTimeScalesWithBytes) {
+  PcieModel pcie;
+  EXPECT_DOUBLE_EQ(pcie.seconds(0), 0.0);
+  const double one_gb = pcie.seconds(1'000'000'000);
+  EXPECT_NEAR(one_gb, 1.0 / 13.0 + pcie.latency_s, 1e-9);
+  EXPECT_GT(pcie.seconds(2'000'000'000), one_gb * 1.9);
+}
+
+TEST(Energy, ProportionalToTime) {
+  EnergyModel e;
+  EXPECT_DOUBLE_EQ(e.cpu_energy_joules(2.0), 2.0 * e.cpu_system_watts);
+  EXPECT_DOUBLE_EQ(e.gpu_energy_joules(0.5), 0.5 * e.gpu_system_watts);
+  EXPECT_GT(e.gpu_system_watts, e.cpu_system_watts)
+      << "adding a K40 must raise platform power";
+}
+
+RunProfile base_profile() {
+  RunProfile p;
+  p.uncompressed_bytes = 1'000'000'000;
+  p.compressed_bytes = 500'000'000;
+  p.codec = Codec::kByte;
+  p.strategy = Strategy::kDependencyFree;
+  p.avg_rounds_per_group = 1.0;
+  return p;
+}
+
+TEST(K40, DeHitsCalibrationPoint) {
+  K40Model k40;
+  const RunProfile p = base_profile();
+  // Calibration target (§V-A, Fig. 9a): Gompresso/Byte with DE ~= 20 GB/s
+  // without PCIe.
+  EXPECT_NEAR(k40.throughput_gb_per_s(p), 20.0, 1.0);
+}
+
+TEST(K40, MoreRoundsAreSlower) {
+  K40Model k40;
+  RunProfile p = base_profile();
+  p.strategy = Strategy::kMultiRound;
+  double prev = 1e9;
+  for (const double rounds : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    p.avg_rounds_per_group = rounds;
+    const double gbps = k40.throughput_gb_per_s(p);
+    EXPECT_LT(gbps, prev + 1e-9) << "rounds=" << rounds;
+    prev = gbps;
+  }
+}
+
+TEST(K40, StrategyOrderingMatchesFig9a) {
+  K40Model k40;
+  RunProfile de = base_profile();
+  RunProfile mrr = base_profile();
+  mrr.strategy = Strategy::kMultiRound;
+  mrr.avg_rounds_per_group = 3.0;  // paper: ~3 rounds on Wikipedia
+  RunProfile sc = base_profile();
+  sc.strategy = Strategy::kSequentialCopy;
+  sc.avg_rounds_per_group = 28.0;  // ~refs per warp group
+  const double t_de = k40.throughput_gb_per_s(de);
+  const double t_mrr = k40.throughput_gb_per_s(mrr);
+  const double t_sc = k40.throughput_gb_per_s(sc);
+  EXPECT_GT(t_de, t_mrr);
+  EXPECT_GT(t_mrr, t_sc);
+  EXPECT_GE(t_de / t_sc, 5.0) << "paper: DE at least 5x faster than SC";
+}
+
+TEST(K40, MultipassSlowerThanMrr) {
+  K40Model k40;
+  RunProfile mrr = base_profile();
+  mrr.strategy = Strategy::kMultiRound;
+  mrr.avg_rounds_per_group = 3.0;
+  RunProfile mp = mrr;
+  mp.strategy = Strategy::kMultiPass;
+  EXPECT_LT(k40.throughput_gb_per_s(mp), k40.throughput_gb_per_s(mrr));
+}
+
+TEST(K40, BitCodecPaysHuffmanCost) {
+  K40Model k40;
+  RunProfile byte = base_profile();
+  RunProfile bit = byte;
+  bit.codec = Codec::kBit;
+  EXPECT_LT(k40.throughput_gb_per_s(bit), k40.throughput_gb_per_s(byte));
+}
+
+TEST(K40, PcieTransfersAddTime) {
+  K40Model k40;
+  RunProfile none = base_profile();
+  RunProfile in = none;
+  in.pcie_in = true;
+  RunProfile inout = in;
+  inout.pcie_out = true;
+  EXPECT_LT(k40.seconds(none), k40.seconds(in));
+  EXPECT_LT(k40.seconds(in), k40.seconds(inout));
+  // Output transfer dominates for Gompresso/Byte (paper: "PCIe transfers
+  // turned out to be the bottleneck").
+  const double out_cost = k40.seconds(inout) - k40.seconds(in);
+  const double in_cost = k40.seconds(in) - k40.seconds(none);
+  EXPECT_GT(out_cost, in_cost);
+}
+
+TEST(K40, MemoryFloorBindsWhenComputeIsTiny) {
+  K40Model k40;
+  RunProfile p = base_profile();
+  // Absurdly cheap compute: floor must bind.
+  K40Model fast = k40;
+  fast.de_cost_ns_per_byte = 1e-6;
+  const double s = fast.seconds(p);
+  const double floor_s =
+      (1'000'000'000.0 + 500'000'000.0) / (fast.mem_bandwidth_gb_per_s * 1e9);
+  EXPECT_NEAR(s, floor_s, floor_s * 0.01);
+}
+
+TEST(CpuScaling, ScalesSingleThread) {
+  CpuScalingModel cpu;
+  EXPECT_NEAR(cpu.scale_throughput_gb_per_s(0.2), 0.2 * cpu.effective_parallelism, 1e-12);
+  EXPECT_LT(cpu.effective_parallelism, 24.0) << "24 HW threads on 12 cores < 24x";
+}
+
+}  // namespace
+}  // namespace gompresso::sim

@@ -1,0 +1,118 @@
+// Unit tests for the SIMT warp substrate: CUDA-semantics ballot/shfl,
+// prefix scans, completed-prefix computation, and metrics accounting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simt/warp.hpp"
+#include "util/rng.hpp"
+
+namespace gompresso::simt {
+namespace {
+
+TEST(Ballot, CudaBitOrder) {
+  LaneArray<bool> pred{};
+  pred[0] = true;
+  pred[5] = true;
+  pred[31] = true;
+  const LaneMask mask = ballot(pred);
+  EXPECT_EQ(mask, (1u << 0) | (1u << 5) | (1u << 31));
+}
+
+TEST(Ballot, InactiveLanesVoteZero) {
+  LaneArray<bool> pred{};
+  pred.fill(true);
+  const LaneMask active = 0x0000FFFFu;
+  EXPECT_EQ(ballot(pred, active), 0x0000FFFFu);
+}
+
+TEST(Ballot, AllFalse) {
+  LaneArray<bool> pred{};
+  EXPECT_EQ(ballot(pred), 0u);
+}
+
+TEST(Shfl, BroadcastsSourceLane) {
+  LaneArray<int> vals{};
+  std::iota(vals.begin(), vals.end(), 100);
+  EXPECT_EQ(shfl(vals, 0), 100);
+  EXPECT_EQ(shfl(vals, 17), 117);
+  EXPECT_EQ(shfl(vals, 31), 131);
+  EXPECT_EQ(shfl(vals, 33), 101);  // CUDA wraps the lane index
+}
+
+TEST(CompletedPrefix, FirstPendingLane) {
+  EXPECT_EQ(completed_prefix(0), kWarpSize);          // nothing pending
+  EXPECT_EQ(completed_prefix(0xFFFFFFFFu), 0u);       // all pending
+  EXPECT_EQ(completed_prefix(0xFFFFFFF0u), 4u);       // lanes 0..3 done
+  EXPECT_EQ(completed_prefix(1u << 31), 31u);         // only lane 31 pending
+  EXPECT_EQ(completed_prefix((1u << 7) | (1u << 20)), 7u);
+}
+
+TEST(ExclusiveScan, MatchesSerialReference) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    LaneArray<std::uint64_t> vals{};
+    for (auto& v : vals) v = rng.next_below(1000);
+    const auto scan = exclusive_scan(vals);
+    std::uint64_t acc = 0;
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+      EXPECT_EQ(scan[lane], acc) << "lane " << lane;
+      acc += vals[lane];
+    }
+  }
+}
+
+TEST(ExclusiveScan, ZeroInput) {
+  LaneArray<std::uint32_t> vals{};
+  const auto scan = exclusive_scan(vals);
+  for (const auto v : scan) EXPECT_EQ(v, 0u);
+}
+
+TEST(ReduceSum, RespectsActiveMask) {
+  LaneArray<std::uint32_t> vals{};
+  vals.fill(1);
+  EXPECT_EQ(reduce_sum(vals), 32u);
+  EXPECT_EQ(reduce_sum(vals, 0x0000000Fu), 4u);
+  EXPECT_EQ(reduce_sum(vals, 0u), 0u);
+}
+
+TEST(Metrics, RecordRoundGrowsHistogram) {
+  WarpMetrics m;
+  m.record_round(1, 100, 10);
+  m.record_round(3, 50, 5);
+  m.record_round(1, 20, 2);
+  ASSERT_EQ(m.bytes_per_round.size(), 3u);
+  EXPECT_EQ(m.bytes_per_round[0], 120u);
+  EXPECT_EQ(m.bytes_per_round[1], 0u);
+  EXPECT_EQ(m.bytes_per_round[2], 50u);
+  EXPECT_EQ(m.refs_per_round[0], 12u);
+  EXPECT_EQ(m.refs_per_round[2], 5u);
+}
+
+TEST(Metrics, MergeAccumulates) {
+  WarpMetrics a, b;
+  a.groups = 2;
+  a.rounds = 5;
+  a.max_rounds_in_group = 3;
+  a.record_round(1, 10, 1);
+  b.groups = 1;
+  b.rounds = 7;
+  b.max_rounds_in_group = 7;
+  b.record_round(2, 20, 2);
+  a.merge(b);
+  EXPECT_EQ(a.groups, 3u);
+  EXPECT_EQ(a.rounds, 12u);
+  EXPECT_EQ(a.max_rounds_in_group, 7u);
+  ASSERT_EQ(a.bytes_per_round.size(), 2u);
+  EXPECT_EQ(a.bytes_per_round[0], 10u);
+  EXPECT_EQ(a.bytes_per_round[1], 20u);
+  EXPECT_DOUBLE_EQ(a.avg_rounds_per_group(), 4.0);
+}
+
+TEST(Metrics, EmptyAverageIsZero) {
+  WarpMetrics m;
+  EXPECT_DOUBLE_EQ(m.avg_rounds_per_group(), 0.0);
+}
+
+}  // namespace
+}  // namespace gompresso::simt

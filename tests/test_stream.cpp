@@ -1,0 +1,128 @@
+// Tests for the bounded-memory streaming layer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/stream.hpp"
+#include "datagen/datasets.hpp"
+
+namespace gompresso {
+namespace {
+
+std::string to_string(const Bytes& b) { return {b.begin(), b.end()}; }
+
+TEST(Stream, RoundTripMultipleSegments) {
+  const Bytes input = datagen::wikipedia(700000);
+  std::istringstream in(to_string(input));
+  std::ostringstream compressed;
+  CompressOptions opt;
+  opt.block_size = 32 * 1024;
+  // Small chunks force several segments.
+  EXPECT_EQ(compress_stream(in, compressed, opt, 128 * 1024), input.size());
+
+  std::istringstream cin(compressed.str());
+  std::ostringstream out;
+  EXPECT_EQ(decompress_stream(cin, out), input.size());
+  EXPECT_EQ(out.str(), to_string(input));
+}
+
+TEST(Stream, EmptyInput) {
+  std::istringstream in("");
+  std::ostringstream compressed;
+  EXPECT_EQ(compress_stream(in, compressed, {}), 0u);
+  std::istringstream cin(compressed.str());
+  std::ostringstream out;
+  EXPECT_EQ(decompress_stream(cin, out), 0u);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Stream, SingleSegmentExactChunk) {
+  const Bytes input = datagen::matrix(131072);
+  std::istringstream in(to_string(input));
+  std::ostringstream compressed;
+  CompressOptions opt;
+  opt.block_size = 32 * 1024;
+  compress_stream(in, compressed, opt, 131072);
+  std::istringstream cin(compressed.str());
+  std::ostringstream out;
+  decompress_stream(cin, out);
+  EXPECT_EQ(out.str(), to_string(input));
+}
+
+TEST(Stream, AllCodecsStream) {
+  const Bytes input = datagen::matrix(300000);
+  for (const Codec c : {Codec::kByte, Codec::kBit, Codec::kTans}) {
+    std::istringstream in(to_string(input));
+    std::ostringstream compressed;
+    CompressOptions opt;
+    opt.codec = c;
+    opt.block_size = 64 * 1024;
+    compress_stream(in, compressed, opt, 100000);
+    std::istringstream cin(compressed.str());
+    std::ostringstream out;
+    decompress_stream(cin, out);
+    EXPECT_EQ(out.str(), to_string(input)) << "codec " << static_cast<int>(c);
+  }
+}
+
+TEST(Stream, BadMagicThrows) {
+  std::istringstream cin("NOPE....");
+  std::ostringstream out;
+  EXPECT_THROW(decompress_stream(cin, out), Error);
+}
+
+TEST(Stream, TruncatedSegmentThrows) {
+  const Bytes input = datagen::wikipedia(200000);
+  std::istringstream in(to_string(input));
+  std::ostringstream compressed;
+  CompressOptions opt;
+  opt.block_size = 32 * 1024;  // chunk must hold at least one block
+  compress_stream(in, compressed, opt, 100000);
+  const std::string full = compressed.str();
+  std::istringstream cin(full.substr(0, full.size() / 2));
+  std::ostringstream out;
+  EXPECT_THROW(decompress_stream(cin, out), Error);
+}
+
+TEST(Stream, MissingTerminatorThrows) {
+  const Bytes input = datagen::wikipedia(50000);
+  std::istringstream in(to_string(input));
+  std::ostringstream compressed;
+  compress_stream(in, compressed, {});
+  std::string full = compressed.str();
+  full.pop_back();  // drop the terminator varint
+  std::istringstream cin(full);
+  std::ostringstream out;
+  EXPECT_THROW(decompress_stream(cin, out), Error);
+}
+
+TEST(Stream, RejectsChunkSmallerThanBlock) {
+  std::istringstream in("abc");
+  std::ostringstream compressed;
+  CompressOptions opt;
+  opt.block_size = 256 * 1024;
+  EXPECT_THROW(compress_stream(in, compressed, opt, 1024), Error);
+}
+
+TEST(Stream, FileRoundTrip) {
+  const Bytes input = datagen::wikipedia(250000);
+  const std::string src = "/tmp/gompresso_stream_src.bin";
+  const std::string gz = "/tmp/gompresso_stream.gmps";
+  const std::string back = "/tmp/gompresso_stream_back.bin";
+  {
+    std::ofstream f(src, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(input.data()),
+            static_cast<std::streamsize>(input.size()));
+  }
+  CompressOptions opt;
+  opt.block_size = 32 * 1024;
+  EXPECT_EQ(compress_file(src, gz, opt, 100000), input.size());
+  EXPECT_EQ(decompress_file(gz, back), input.size());
+  std::ifstream f(back, std::ios::binary);
+  Bytes result((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(result, input);
+}
+
+}  // namespace
+}  // namespace gompresso

@@ -1,0 +1,207 @@
+// Unit tests for src/util: CRC32, varints, RNG, Zipf, thread pool,
+// arithmetic helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/common.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/varint.hpp"
+
+namespace gompresso {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32(as_bytes(s)), 0xCBF43926u);
+  const std::string empty;
+  EXPECT_EQ(crc32(as_bytes(empty)), 0u);
+  const std::string a = "a";
+  EXPECT_EQ(crc32(as_bytes(a)), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Rng rng(1);
+  Bytes data(1000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+  const std::uint32_t whole = crc32(data);
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{499},
+                                  std::size_t{999}, std::size_t{1000}}) {
+    const std::uint32_t part1 = crc32(ByteSpan(data.data(), split));
+    const std::uint32_t part2 = crc32(ByteSpan(data.data() + split, 1000 - split), part1);
+    EXPECT_EQ(part2, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Bytes data(64, 0xAB);
+  const std::uint32_t base = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 1;
+    EXPECT_NE(crc32(data), base) << "flip at " << i;
+    data[i] ^= 1;
+  }
+}
+
+TEST(Varint, RoundTripBoundaries) {
+  const std::uint64_t values[] = {0,    1,    127,  128,   16383, 16384,
+                                  1 << 21, (1ull << 35) - 1, 0xFFFFFFFFFFFFFFFFull};
+  for (const auto v : values) {
+    Bytes buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buf, pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, EncodedSizeIsMinimal) {
+  Bytes buf;
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  put_varint(buf, 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(Varint, TruncatedInputThrows) {
+  Bytes buf;
+  put_varint(buf, 1u << 30);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(buf, pos), Error);
+}
+
+TEST(Varint, U32RoundTrip) {
+  Bytes buf;
+  put_u32le(buf, 0xDEADBEEFu);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_u32le(buf, pos), 0xDEADBEEFu);
+  EXPECT_EQ(pos, 4u);
+  pos = 2;
+  EXPECT_THROW(get_u32le(buf, pos), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipf, RankZeroIsMostFrequent) {
+  Rng rng(11);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(Zipf, CoversTail) {
+  Rng rng(13);
+  ZipfSampler zipf(50, 0.8);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 20000; ++i) seen.insert(zipf.sample(rng));
+  EXPECT_GT(seen.size(), 40u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndOneCounts) {
+  ThreadPool pool(4);
+  std::atomic<int> n{0};
+  pool.parallel_for(0, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 0);
+  pool.parallel_for(1, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw Error("boom");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(64, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2);
+  }
+}
+
+TEST(ThreadPool, SingleThreadFallback) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0u);  // caller-only execution
+  std::vector<int> hits(50, 0);
+  pool.parallel_for(50, [&](std::size_t i) { hits[i]++; });
+  for (const auto h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(CommonHelpers, Arithmetic) {
+  EXPECT_EQ(div_ceil(10, 3), 4);
+  EXPECT_EQ(div_ceil(9, 3), 3);
+  EXPECT_EQ(round_up(10, 8), 16);
+  EXPECT_EQ(round_up(16, 8), 16);
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+}
+
+TEST(CommonHelpers, CountLeadingZeros) {
+  EXPECT_EQ(count_leading_zeros(0), 32);
+  EXPECT_EQ(count_leading_zeros(1), 31);
+  EXPECT_EQ(count_leading_zeros(0x80000000u), 0);
+}
+
+TEST(CommonHelpers, CheckThrows) {
+  EXPECT_NO_THROW(check(true, "ok"));
+  EXPECT_THROW(check(false, "bad"), Error);
+}
+
+}  // namespace
+}  // namespace gompresso
