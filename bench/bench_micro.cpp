@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "ans/tans.hpp"
+#include "bench/bench_util.hpp"
 #include "bitstream/bit_reader.hpp"
 #include "bitstream/bit_writer.hpp"
 #include "core/gompresso.hpp"
@@ -140,4 +141,14 @@ BENCHMARK(BM_StrategyResolve)
 }  // namespace
 }  // namespace gompresso
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): emits BENCH_micro.json by
+// default so the micro benches share the machine-readable trajectory
+// convention of bench_decode_hotpath (see bench_util.hpp).
+int main(int argc, char** argv) {
+  gompresso::bench::GBenchArgs args(argc, argv, "BENCH_micro.json");
+  benchmark::Initialize(&args.argc, args.argv.data());
+  if (benchmark::ReportUnrecognizedArguments(args.argc, args.argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

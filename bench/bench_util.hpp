@@ -9,8 +9,11 @@
 //              the paper's reported values.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "core/gompresso.hpp"
 #include "sim/energy_model.hpp"
@@ -76,5 +79,114 @@ inline void print_header(const char* title) {
   std::printf("%s\n", title);
   std::printf("==============================================================\n");
 }
+
+/// Median-of-N wall time of `fn` in seconds (first call warms caches).
+/// The benchmark trajectory files record medians rather than best-of so a
+/// single lucky run can't mask a regression.
+inline double time_median_of(int n, const std::function<void()>& fn) {
+  fn();  // warm-up
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Stopwatch t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  return samples.size() % 2 == 1 ? samples[mid]
+                                 : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+/// Machine-readable benchmark report (BENCH_*.json). Every benchmark that
+/// wants a trajectory across PRs appends entries and writes one file; CI
+/// smoke-runs the emitters so the format can't rot.
+class JsonReport {
+ public:
+  struct Entry {
+    std::string name;
+    double seconds;
+    std::uint64_t bytes;
+  };
+
+  explicit JsonReport(std::string bench, std::string dataset, int reps)
+      : bench_(std::move(bench)), dataset_(std::move(dataset)), reps_(reps) {}
+
+  /// Records one measurement: `bytes` of payload processed in
+  /// `seconds_median` (median-of-reps) wall seconds.
+  void add(const std::string& name, double seconds_median, std::uint64_t bytes) {
+    entries_.push_back({name, seconds_median, bytes});
+  }
+
+  double mb_per_s(const Entry& e) const {
+    return e.seconds > 0 ? static_cast<double>(e.bytes) / 1e6 / e.seconds : 0.0;
+  }
+
+  /// Writes the report; returns false (and warns) if the file can't be
+  /// opened. Keys are stable: downstream tooling diffs them across PRs.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"dataset\": \"%s\",\n",
+                 escaped(bench_).c_str(), escaped(dataset_).c_str());
+    std::fprintf(f, "  \"timing\": \"median_of_%d\",\n  \"entries\": [\n", reps_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"seconds_median\": %.6f, "
+                   "\"bytes\": %llu, \"mb_per_s\": %.2f}%s\n",
+                   escaped(e.name).c_str(), e.seconds,
+                   static_cast<unsigned long long>(e.bytes), mb_per_s(e),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries_.size());
+    return true;
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string dataset_;
+  int reps_;
+  std::vector<Entry> entries_;
+};
+
+/// argv shim for google-benchmark binaries (bench_micro): injects
+/// `--benchmark_out=<default_out> --benchmark_out_format=json` unless the
+/// caller passed its own --benchmark_out, so the micro benches emit a
+/// BENCH_*.json trajectory file alongside the JsonReport-based benches.
+struct GBenchArgs {
+  std::vector<std::string> storage;
+  std::vector<char*> argv;
+  int argc = 0;
+
+  GBenchArgs(int argc_in, char** argv_in, const char* default_out) {
+    bool has_out = false;
+    for (int i = 0; i < argc_in; ++i) {
+      storage.emplace_back(argv_in[i]);
+      if (storage.back().rfind("--benchmark_out=", 0) == 0) has_out = true;
+    }
+    if (!has_out) {
+      storage.push_back(std::string("--benchmark_out=") + default_out);
+      storage.push_back("--benchmark_out_format=json");
+    }
+    for (auto& s : storage) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    argc = static_cast<int>(storage.size());
+  }
+};
 
 }  // namespace gompresso::bench

@@ -7,9 +7,19 @@
 // latch an overflow flag that callers check once per sub-block; this keeps
 // the hot decode loop branch-light, mirroring the single-lookup design the
 // paper uses to avoid warp divergence.
+//
+// The accumulator is 64 bits wide and refill() tops it up with one
+// unconditional word-at-a-time load in the steady state (the branchless
+// scheme popularised by rapidgzip-style CPU inflate loops): after a
+// refill() at least kGuaranteedBits bits are peekable, so a decode loop
+// can refill once per token and then use the *_unchecked accessors with
+// no conditional refill on the critical path. The last 8 bytes of the
+// buffer fall back to a byte-wise zero-padded tail load.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 
 #include "util/common.hpp"
 
@@ -18,44 +28,103 @@ namespace gompresso {
 /// Reads variable-width codes from a byte buffer, LSB-first.
 class BitReader {
  public:
+  /// After refill(), at least this many bits can be peeked/consumed via
+  /// the *_unchecked accessors (zero-padded past the end of the buffer).
+  static constexpr unsigned kGuaranteedBits = 56;
+
   /// Reads from `data`, starting at absolute bit offset `start_bit`.
-  explicit BitReader(ByteSpan data, std::uint64_t start_bit = 0);
+  explicit BitReader(ByteSpan data, std::uint64_t start_bit = 0)
+      : data_(data.data()), size_(data.size()) {
+    byte_cursor_ = static_cast<std::size_t>(start_bit >> 3);
+    refill();
+    const unsigned skip = static_cast<unsigned>(start_bit & 7);
+    acc_ >>= skip;
+    acc_bits_ -= skip;
+  }
+
+  /// Tops the accumulator up to >= kGuaranteedBits valid bits. In the
+  /// steady state (cursor at least 8 bytes from the end) this is one
+  /// unconditional 64-bit load + OR; bits that do not fit are reloaded by
+  /// the next refill. Past the end the stream reads as zeros.
+  void refill() {
+    std::uint64_t chunk;
+    if (byte_cursor_ + 8 <= size_) [[likely]] {
+      std::memcpy(&chunk, data_ + byte_cursor_, 8);  // little-endian hosts
+    } else {
+      chunk = tail_load();
+    }
+    acc_ |= chunk << acc_bits_;
+    byte_cursor_ += (63 - acc_bits_) >> 3;
+    acc_bits_ |= kGuaranteedBits;  // == acc_bits_ + 8 * bytes_taken
+  }
 
   /// Returns the next `nbits` bits without consuming them (0..32).
   /// Bits beyond the end of the buffer read as zero.
   std::uint32_t peek(unsigned nbits) {
     if (acc_bits_ < nbits) refill();
-    return static_cast<std::uint32_t>(acc_ & ((1ull << nbits) - 1));
+    return peek_unchecked(nbits);
   }
 
   /// Consumes `nbits` bits (must have been peeked or known available).
   void consume(unsigned nbits) {
     if (acc_bits_ < nbits) refill();
-    acc_ >>= nbits;
-    acc_bits_ -= nbits;
-    bit_pos_ += nbits;
+    consume_unchecked(nbits);
   }
 
   /// Reads and consumes `nbits` bits (0..32).
   std::uint32_t read(unsigned nbits) {
     const std::uint32_t v = peek(nbits);
-    consume(nbits);
+    consume_unchecked(nbits);
     return v;
   }
 
-  /// Absolute bit position of the next unread bit.
-  std::uint64_t bit_pos() const { return bit_pos_; }
+  /// peek() without the refill guard: the caller must have refill()ed and
+  /// consumed at most kGuaranteedBits - nbits bits since.
+  std::uint32_t peek_unchecked(unsigned nbits) const {
+    assert(nbits <= 32 && nbits <= acc_bits_);
+    return static_cast<std::uint32_t>(acc_ & ((std::uint64_t{1} << nbits) - 1));
+  }
 
-  /// True if any consumed bit lay beyond the end of the buffer.
-  bool overflowed() const { return bit_pos_ > 8 * static_cast<std::uint64_t>(data_.size()); }
+  /// consume() without the refill guard (same contract as peek_unchecked).
+  void consume_unchecked(unsigned nbits) {
+    assert(nbits <= acc_bits_);
+    acc_ >>= nbits;
+    acc_bits_ -= nbits;
+  }
+
+  /// read() without the refill guard (same contract as peek_unchecked).
+  std::uint32_t read_unchecked(unsigned nbits) {
+    const std::uint32_t v = peek_unchecked(nbits);
+    consume_unchecked(nbits);
+    return v;
+  }
+
+  /// Absolute bit position of the next unread bit. Derived: the cursor
+  /// counts every bit ever loaded (zero padding included) and acc_bits_
+  /// the loaded-but-unconsumed ones, so no per-consume counter is needed.
+  std::uint64_t bit_pos() const {
+    return 8 * static_cast<std::uint64_t>(byte_cursor_) - acc_bits_;
+  }
+
+  /// True if any *consumed* bit lay beyond the end of the buffer. Peeking
+  /// past the end (which reads zero padding) does not count as overflow
+  /// until those bits are consumed.
+  bool overflowed() const { return bit_pos() > 8 * static_cast<std::uint64_t>(size_); }
 
  private:
-  void refill();
+  /// Byte-wise zero-padded load for the last < 8 bytes of the buffer.
+  std::uint64_t tail_load() const {
+    std::uint64_t chunk = 0;
+    for (std::size_t i = byte_cursor_, k = 0; i < size_ && k < 8; ++i, ++k) {
+      chunk |= static_cast<std::uint64_t>(data_[i]) << (8 * k);
+    }
+    return chunk;
+  }
 
-  ByteSpan data_;
-  std::uint64_t acc_ = 0;    // prefetched bits, next bit at LSB
-  unsigned acc_bits_ = 0;    // valid bits in acc_
-  std::uint64_t bit_pos_ = 0;    // absolute position of next unread bit
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint64_t acc_ = 0;        // prefetched bits, next bit at LSB
+  unsigned acc_bits_ = 0;        // valid bits in acc_
   std::size_t byte_cursor_ = 0;  // next byte to load into acc_
 };
 

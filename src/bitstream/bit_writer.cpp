@@ -1,15 +1,22 @@
 #include "bitstream/bit_writer.hpp"
 
 #include <cassert>
+#include <cstring>
 
 namespace gompresso {
 
 void BitWriter::flush_full_bytes() {
-  while (acc_bits_ >= 8) {
-    buf_.push_back(static_cast<std::uint8_t>(acc_));
-    acc_ >>= 8;
-    acc_bits_ -= 8;
-  }
+  // Symmetric to BitReader::refill(): spill all complete bytes of the
+  // 64-bit accumulator with one 8-byte store instead of a per-byte loop.
+  // The invariant acc_bits_ <= 7 on exit means a following write of up to
+  // 57 bits cannot overflow the accumulator.
+  if (acc_bits_ < 8) return;
+  std::uint8_t chunk[8];
+  std::memcpy(chunk, &acc_, 8);  // little-endian hosts
+  const unsigned nbytes = acc_bits_ >> 3;
+  buf_.insert(buf_.end(), chunk, chunk + nbytes);
+  acc_ = nbytes == 8 ? 0 : acc_ >> (8 * nbytes);
+  acc_bits_ &= 7;
 }
 
 void BitWriter::write(std::uint64_t value, unsigned nbits) {

@@ -1,13 +1,17 @@
 #include "core/bit_codec.hpp"
 
+#include <atomic>
+
 #include "bitstream/bit_reader.hpp"
 #include "bitstream/bit_writer.hpp"
+#include "core/decode_tables.hpp"
 #include "huffman/code_builder.hpp"
 #include "huffman/decoder.hpp"
 #include "huffman/encoder.hpp"
 #include "huffman/histogram.hpp"
 #include "huffman/serial.hpp"
 #include "lz77/deflate_tables.hpp"
+#include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 
 namespace gompresso::core {
@@ -22,7 +26,7 @@ struct SubblockInfo {
 }  // namespace
 
 std::size_t decode_tables_footprint(unsigned codeword_limit) {
-  // Two tables of 2^CWL entries, 4 bytes each ({symbol u16, length u8} padded).
+  // Two tables of 2^CWL entries, one packed uint32 each.
   return 2 * (std::size_t{1} << codeword_limit) * 4;
 }
 
@@ -109,86 +113,171 @@ Bytes encode_block_bit(const lz77::TokenBlock& block, const BitCodecConfig& conf
   return out;
 }
 
+namespace {
+
+/// Decodes one sub-block lane with the fused tables. Steady-state token
+/// cost: one refill, one fused lit/len load, and (for matches) one fused
+/// offset load — no conditional refills and no secondary value-decode
+/// lookups on the critical path. Returns the lane's output byte count.
+std::uint64_t decode_subblock(ByteSpan payload, const SubblockLayout& lane,
+                              const FusedTables& tables, lz77::Sequence* seq_out,
+                              std::uint8_t* lit_out) {
+  BitReader reader(payload, lane.bit_offset);
+  // Hoisted raw pointers: the byte stores through lit_out may alias
+  // anything, so indexing through the vectors would reload their data
+  // pointers on every token.
+  const std::uint32_t* const litlen_table = tables.litlen.data();
+  const std::uint32_t* const offset_table = tables.offset.data();
+  const unsigned table_bits = tables.bits;
+  std::uint32_t lits_left = lane.n_literals;
+  std::uint64_t match_bytes = 0;
+  for (std::uint32_t k = 0; k < lane.n_sequences; ++k) {
+    lz77::Sequence seq;
+    while (true) {
+      // One branchless refill per token guarantees 56 bits — more than
+      // the worst-case token of CWL(15) + 5 length extra + CWL(15) + 13
+      // distance extra = 48 bits — so the token decode below runs with
+      // no conditional refills at all.
+      reader.refill();
+      const std::uint32_t e = litlen_table[reader.peek_unchecked(table_bits)];
+      check(e != 0, "bit codec: invalid lit/len code");
+      reader.consume_unchecked(fused_code_length(e));
+      const std::uint32_t kind = fused_kind(e);
+      if (kind == kFusedDoubleLiteral) {
+        check(lits_left >= 2, "bit codec: literal overflow in sub-block");
+        const std::uint32_t v = fused_value(e);
+        lit_out[0] = static_cast<std::uint8_t>(v);
+        lit_out[1] = static_cast<std::uint8_t>(v >> 8);
+        lit_out += 2;
+        lits_left -= 2;
+        seq.literal_len += 2;
+        continue;
+      }
+      if (kind == kFusedLiteral) {
+        check(lits_left != 0, "bit codec: literal overflow in sub-block");
+        *lit_out++ = static_cast<std::uint8_t>(fused_value(e));
+        --lits_left;
+        ++seq.literal_len;
+        continue;
+      }
+      if (kind == kFusedEnd) break;  // terminator sequence: no match
+      seq.match_len = fused_value(e) + reader.read_unchecked(fused_extra_bits(e));
+      const std::uint32_t d = offset_table[reader.peek_unchecked(table_bits)];
+      check(d != 0, "bit codec: invalid offset code");
+      reader.consume_unchecked(fused_code_length(d));
+      seq.match_dist = fused_value(d) + reader.read_unchecked(fused_extra_bits(d));
+      match_bytes += seq.match_len;
+      break;
+    }
+    seq_out[k] = seq;
+  }
+  check(lits_left == 0, "bit codec: literal underflow in sub-block");
+  check(reader.bit_pos() == lane.bit_offset + lane.bits,
+        "bit codec: sub-block size mismatch");
+  check(!reader.overflowed(), "bit codec: sub-block overran payload");
+  return lane.n_literals + match_bytes;
+}
+
+}  // namespace
+
 lz77::TokenBlock decode_block_bit(ByteSpan payload, const BitCodecConfig& config) {
+  DecodeScratch scratch;
+  decode_block_bit(payload, config, scratch);
+  return std::move(scratch.block);
+}
+
+const lz77::TokenBlock& decode_block_bit(ByteSpan payload, const BitCodecConfig& config,
+                                         DecodeScratch& scratch, ThreadPool* lane_pool) {
   std::size_t pos = 0;
   const std::uint64_t n_seq = get_varint(payload, pos);
   const std::uint64_t n_literals = get_varint(payload, pos);
   const std::uint64_t n_subblocks = get_varint(payload, pos);
   check(n_seq > 0, "bit codec: empty block");
   check(n_subblocks > 0 && n_subblocks <= n_seq, "bit codec: bad sub-block count");
+  // Lane output slots are 32-bit; a block's output size is uint32 too, so
+  // counts beyond that are corrupt and must not wrap the prefix sums.
+  check(n_seq <= 0xFFFFFFFFull && n_literals <= 0xFFFFFFFFull,
+        "bit codec: block counts exceed 32-bit bounds");
 
-  std::vector<SubblockInfo> table(static_cast<std::size_t>(n_subblocks));
-  std::uint64_t seq_total = 0, lit_total = 0;
-  for (auto& info : table) {
-    info.bits = get_varint(payload, pos);
-    info.n_sequences = static_cast<std::uint32_t>(get_varint(payload, pos));
-    info.n_literals = static_cast<std::uint32_t>(get_varint(payload, pos));
-    seq_total += info.n_sequences;
-    lit_total += info.n_literals;
+  // Steady-state accounting: did every scratch buffer already have room?
+  const bool buffers_fit =
+      scratch.subblocks.capacity() >= n_subblocks &&
+      scratch.block.sequences.capacity() >= n_seq &&
+      scratch.block.literals.capacity() >= n_literals;
+
+  // Parse the sub-block size list and derive every lane's bit offset and
+  // output slots via prefix sums — the header's whole purpose (§III-A).
+  scratch.subblocks.resize(static_cast<std::size_t>(n_subblocks));
+  std::uint64_t seq_total = 0, lit_total = 0, bits_total = 0;
+  for (auto& lane : scratch.subblocks) {
+    lane.bits = get_varint(payload, pos);
+    lane.n_sequences = static_cast<std::uint32_t>(get_varint(payload, pos));
+    lane.n_literals = static_cast<std::uint32_t>(get_varint(payload, pos));
+    lane.bit_offset = bits_total;  // relative; rebased below
+    lane.seq_base = static_cast<std::uint32_t>(seq_total);
+    lane.lit_base = static_cast<std::uint32_t>(lit_total);
+    seq_total += lane.n_sequences;
+    lit_total += lane.n_literals;
+    bits_total += lane.bits;
   }
   check(seq_total == n_seq, "bit codec: sub-block sequence counts disagree");
   check(lit_total == n_literals, "bit codec: sub-block literal counts disagree");
 
-  // Deserialize the two trees and build the single-lookup decode tables
-  // ("stored in the software-controlled, on-chip memories of the GPU").
-  BitReader tree_reader(payload, 8 * pos);
-  const auto litlen_lengths = huffman::read_code_lengths(kLitLenAlphabet, tree_reader);
-  const auto offset_lengths = huffman::read_code_lengths(kOffsetAlphabet, tree_reader);
-  check(!tree_reader.overflowed(), "bit codec: truncated tree section");
-  const huffman::Decoder litlen_dec(litlen_lengths, config.codeword_limit);
-  const huffman::Decoder offset_dec(offset_lengths, config.codeword_limit);
+  // Deserialize the two trees and build the fused single-lookup decode
+  // tables ("stored in the software-controlled, on-chip memories of the
+  // GPU"). Blocks shipping byte-identical trees reuse the cached tables.
   const std::size_t tree_nibbles = kLitLenAlphabet + kOffsetAlphabet;
-  const std::size_t stream_base_bit = 8 * pos + 8 * ((tree_nibbles * 4 + 7) / 8);
+  const std::size_t tree_bytes = (tree_nibbles * 4 + 7) / 8;
+  check(pos + tree_bytes <= payload.size(), "bit codec: truncated tree section");
+  const ByteSpan tree_section = payload.subspan(pos, tree_bytes);
+  if (scratch.tables.matches(tree_section, config.codeword_limit)) {
+    ++scratch.stats.table_reuses;
+  } else {
+    BitReader tree_reader(payload, 8 * pos);
+    huffman::read_code_lengths(kLitLenAlphabet, tree_reader, scratch.litlen_lengths);
+    huffman::read_code_lengths(kOffsetAlphabet, tree_reader, scratch.offset_lengths);
+    scratch.tables.build(scratch.litlen_lengths, scratch.offset_lengths,
+                         config.codeword_limit);
+    scratch.tables.tree_bytes.assign(tree_section.begin(), tree_section.end());
+    ++scratch.stats.table_builds;
+  }
+  const std::uint64_t stream_base_bit = 8 * (pos + tree_bytes);
+  for (auto& lane : scratch.subblocks) lane.bit_offset += stream_base_bit;
 
-  lz77::TokenBlock block;
+  lz77::TokenBlock& block = scratch.block;
   block.sequences.resize(static_cast<std::size_t>(n_seq));
   block.literals.resize(static_cast<std::size_t>(n_literals));
 
   // Each warp lane decodes one sub-block; lanes are independent because
-  // the table gives every lane its bit offset and output slots. Here the
-  // lanes execute as a loop (lock-step equivalent: no data flows between
-  // sub-block decodes).
-  std::uint64_t bit_offset = stream_base_bit;
-  std::size_t seq_base = 0;
-  std::size_t lit_base = 0;
-  for (const auto& info : table) {
-    BitReader reader(payload, bit_offset);
-    lz77::Sequence* seq_out = block.sequences.data() + seq_base;
-    std::uint8_t* lit_out = block.literals.data() + lit_base;
-    std::uint32_t lits_left = info.n_literals;
-    for (std::uint32_t k = 0; k < info.n_sequences; ++k) {
-      lz77::Sequence seq;
-      while (true) {
-        const std::uint16_t sym = litlen_dec.decode(reader);
-        check(sym != huffman::Decoder::kInvalidSymbol, "bit codec: invalid lit/len code");
-        if (sym < 256) {
-          check(lits_left != 0, "bit codec: literal overflow in sub-block");
-          *lit_out++ = static_cast<std::uint8_t>(sym);
-          --lits_left;
-          ++seq.literal_len;
-          continue;
-        }
-        if (sym == kEndSymbol) break;  // terminator sequence: no match
-        const std::uint32_t lcode = sym - kFirstLengthSymbol;
-        check(lcode < lz77::kNumLengthCodes, "bit codec: bad length symbol");
-        const std::uint32_t lextra = reader.read(lz77::length_extra_bits(lcode));
-        seq.match_len = lz77::decode_length(lcode, lextra);
-        const std::uint16_t dsym = offset_dec.decode(reader);
-        check(dsym != huffman::Decoder::kInvalidSymbol, "bit codec: invalid offset code");
-        const std::uint32_t dextra = reader.read(lz77::distance_extra_bits(dsym));
-        seq.match_dist = lz77::decode_distance(dsym, dextra);
-        break;
-      }
-      seq_out[k] = seq;
+  // the table gives every lane its bit offset and output slots. With a
+  // lane pool the lanes run on real threads (the paper's intra-block
+  // parallelism); otherwise they execute lock-step-equivalently in a loop.
+  std::atomic<std::uint64_t> out_bytes{0};
+  auto decode_lanes = [&](std::size_t begin, std::size_t end) {
+    std::uint64_t local = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const SubblockLayout& lane = scratch.subblocks[i];
+      local += decode_subblock(payload, lane, scratch.tables,
+                               block.sequences.data() + lane.seq_base,
+                               block.literals.data() + lane.lit_base);
     }
-    check(lits_left == 0, "bit codec: literal underflow in sub-block");
-    check(reader.bit_pos() == bit_offset + info.bits, "bit codec: sub-block size mismatch");
-    check(!reader.overflowed(), "bit codec: sub-block overran payload");
-    bit_offset += info.bits;
-    seq_base += info.n_sequences;
-    lit_base += info.n_literals;
+    out_bytes.fetch_add(local, std::memory_order_relaxed);
+  };
+  if (lane_pool != nullptr && n_subblocks > 1) {
+    // Grain: a few chunks per participant balances load without paying a
+    // queue pop per tiny lane.
+    const std::size_t grain = std::max<std::size_t>(
+        1, static_cast<std::size_t>(n_subblocks) / (4 * lane_pool->parallelism()));
+    lane_pool->parallel_for_chunked(static_cast<std::size_t>(n_subblocks), grain,
+                                    decode_lanes);
+    ++scratch.stats.lane_fanouts;
+  } else {
+    decode_lanes(0, static_cast<std::size_t>(n_subblocks));
   }
-  block.uncompressed_size = block.computed_size();
+  block.uncompressed_size = static_cast<std::uint32_t>(out_bytes.load());
+
+  ++scratch.stats.blocks;
+  if (buffers_fit) ++scratch.stats.buffer_reuses;
   return block;
 }
 

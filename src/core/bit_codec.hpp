@@ -34,9 +34,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/decode_scratch.hpp"
 #include "lz77/sequence.hpp"
 #include "simt/warp.hpp"
 #include "util/common.hpp"
+
+namespace gompresso {
+class ThreadPool;
+}
 
 namespace gompresso::core {
 
@@ -57,9 +62,19 @@ Bytes encode_block_bit(const lz77::TokenBlock& block, const BitCodecConfig& conf
 
 /// Decodes a payload back into sequences + literals. Each sub-block is
 /// decoded by a separate warp lane on the GPU; here the lanes run
-/// lock-step-equivalently in a loop. `metrics` (optional) counts decode
-/// table lookups. Throws gompresso::Error on corrupt payloads.
+/// lock-step-equivalently in a loop. Throws gompresso::Error on corrupt
+/// payloads. Convenience wrapper around the scratch-arena overload below.
 lz77::TokenBlock decode_block_bit(ByteSpan payload, const BitCodecConfig& config);
+
+/// Zero-allocation fast path: decodes into `scratch`'s reused buffers and
+/// returns a reference to scratch.block (valid until the next decode with
+/// the same scratch). When `lane_pool` is non-null and the block has more
+/// than one sub-block, the independent sub-block lanes are fanned out
+/// across the pool (intra-block parallelism, paper §III-B) — pass it only
+/// when the caller is not itself running block-parallel work.
+const lz77::TokenBlock& decode_block_bit(ByteSpan payload, const BitCodecConfig& config,
+                                         DecodeScratch& scratch,
+                                         ThreadPool* lane_pool = nullptr);
 
 /// Decode-table on-chip footprint for one block (both tables), in bytes;
 /// the occupancy model in sim/ uses this (Fig. 12 discussion).

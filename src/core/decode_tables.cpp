@@ -1,0 +1,52 @@
+#include "core/decode_tables.hpp"
+
+#include "core/bit_codec.hpp"
+#include "huffman/decoder.hpp"
+#include "lz77/deflate_tables.hpp"
+
+namespace gompresso::core {
+
+void FusedTables::build(const std::vector<std::uint8_t>& litlen_lengths,
+                        const std::vector<std::uint8_t>& offset_lengths,
+                        unsigned table_bits) {
+  valid = false;
+  huffman::build_packed_table(
+      litlen_lengths, table_bits, litlen, [](std::uint16_t symbol, unsigned len) {
+        if (symbol < kEndSymbol) {
+          return pack_fused(kFusedLiteral, symbol, 0, len);
+        }
+        if (symbol == kEndSymbol) {
+          return pack_fused(kFusedEnd, 0, 0, len);
+        }
+        const std::uint32_t lcode = static_cast<std::uint32_t>(symbol) - kFirstLengthSymbol;
+        check(lcode < lz77::kNumLengthCodes, "fused tables: bad length symbol");
+        return pack_fused(kFusedMatch, lz77::decode_length(lcode, 0),
+                          lz77::length_extra_bits(lcode), len);
+      });
+  // Second pass: upgrade literal entries to double-literal entries where
+  // the remaining peeked bits pin down the next codeword as well. The
+  // descending order guarantees t[i >> len] (a strictly smaller index for
+  // i > 0) is still an original single-symbol entry when read.
+  for (std::size_t i = litlen.size(); i-- > 0;) {
+    const std::uint32_t e = litlen[i];
+    if (e == 0 || fused_kind(e) != kFusedLiteral) continue;
+    const unsigned len = fused_code_length(e);
+    const std::uint32_t e2 = litlen[i >> len];
+    if (e2 == 0 || fused_kind(e2) != kFusedLiteral) continue;
+    const unsigned len2 = fused_code_length(e2);
+    if (len + len2 > table_bits) continue;  // second code not fully visible
+    litlen[i] = pack_fused(kFusedDoubleLiteral,
+                           fused_value(e) | (fused_value(e2) << 8), 0, len + len2);
+  }
+
+  huffman::build_packed_table(
+      offset_lengths, table_bits, offset, [](std::uint16_t symbol, unsigned len) {
+        check(symbol < lz77::kNumDistanceCodes, "fused tables: bad distance symbol");
+        return pack_fused(kFusedMatch, lz77::decode_distance(symbol, 0),
+                          lz77::distance_extra_bits(symbol), len);
+      });
+  bits = table_bits;
+  valid = true;
+}
+
+}  // namespace gompresso::core

@@ -1,0 +1,85 @@
+// Fused single-lookup decode tables for the bit codec hot path.
+//
+// The paper's single-lookup tables (§III-B.1) map a peeked bit pattern to
+// a token symbol. The fused variant goes one step further (the technique
+// rapidgzip uses on CPUs): each packed 32-bit entry also carries the
+// pre-decoded DEFLATE bucket parameters, so decoding a match token costs
+// one table load instead of the chain
+//   lookup -> decode_length() -> length_extra_bits() -> branch.
+//
+// Packed fused entry layout:
+//   bits  0..15  value — literal byte, base match length, or base distance
+//   bits 16..19  number of raw extra bits that follow the codeword (0..13)
+//   bits 20..23  codeword length to consume (1..15)
+//   bits 24..25  token kind (lit/len table only)
+//
+// A valid entry always has a non-zero codeword length, so the all-zero
+// word marks the table holes of an incomplete code (invalid codewords in
+// a corrupt stream).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gompresso::core {
+
+inline constexpr unsigned kFusedExtraShift = 16;
+inline constexpr unsigned kFusedLenShift = 20;
+inline constexpr unsigned kFusedKindShift = 24;
+
+/// Token kinds stored in a fused lit/len entry.
+inline constexpr std::uint32_t kFusedLiteral = 0;
+inline constexpr std::uint32_t kFusedEnd = 1;
+inline constexpr std::uint32_t kFusedMatch = 2;
+/// Two literals in one entry (value = lit1 | lit2 << 8): built wherever
+/// the peeked window fully determines the *next* codeword too and that
+/// codeword is also a literal. One load then emits two bytes — the
+/// double-literal caching rapidgzip showed pays off on text, where short
+/// literal codes leave most of the peek window unused.
+inline constexpr std::uint32_t kFusedDoubleLiteral = 3;
+
+constexpr std::uint32_t fused_value(std::uint32_t e) { return e & 0xFFFFu; }
+constexpr unsigned fused_extra_bits(std::uint32_t e) {
+  return (e >> kFusedExtraShift) & 0xFu;
+}
+constexpr unsigned fused_code_length(std::uint32_t e) {
+  return (e >> kFusedLenShift) & 0xFu;
+}
+constexpr std::uint32_t fused_kind(std::uint32_t e) { return e >> kFusedKindShift; }
+
+constexpr std::uint32_t pack_fused(std::uint32_t kind, std::uint32_t value,
+                                   unsigned extra_bits, unsigned code_length) {
+  return value | (static_cast<std::uint32_t>(extra_bits) << kFusedExtraShift) |
+         (static_cast<std::uint32_t>(code_length) << kFusedLenShift) |
+         (kind << kFusedKindShift);
+}
+
+/// The two fused tables of one block, rebuilt in place (the vectors keep
+/// their capacity across blocks, so a steady-state rebuild allocates
+/// nothing). `tree_bytes` caches the serialized tree section the tables
+/// were built from; a byte-exact match lets repeated trees skip the
+/// rebuild (an exact compare of ~160 bytes — hashing would risk silent
+/// collisions for no speed gain).
+struct FusedTables {
+  std::vector<std::uint32_t> litlen;
+  std::vector<std::uint32_t> offset;
+  std::vector<std::uint8_t> tree_bytes;
+  unsigned bits = 0;
+  bool valid = false;
+
+  /// True when the cached tables were built from exactly these tree
+  /// bytes at this table width.
+  bool matches(ByteSpan trees, unsigned table_bits) const {
+    return valid && bits == table_bits && tree_bytes.size() == trees.size() &&
+           std::equal(trees.begin(), trees.end(), tree_bytes.begin());
+  }
+
+  /// (Re)builds both tables for codes of at most `table_bits` bits.
+  void build(const std::vector<std::uint8_t>& litlen_lengths,
+             const std::vector<std::uint8_t>& offset_lengths, unsigned table_bits);
+};
+
+}  // namespace gompresso::core

@@ -1,7 +1,5 @@
 #include "core/decompressor.hpp"
 
-#include <mutex>
-
 #include "core/bit_codec.hpp"
 #include "core/byte_codec.hpp"
 #include "core/tans_codec.hpp"
@@ -11,6 +9,19 @@
 #include "util/varint.hpp"
 
 namespace gompresso {
+namespace {
+
+/// Everything one pool participant mutates while decoding blocks. Slots
+/// are per-worker, so the block loop needs no mutex; the accumulators are
+/// merged into the DecompressResult once at the end.
+struct WorkerState {
+  simt::WarpMetrics metrics;
+  core::MultiPassStats multipass;
+  core::DecodeScratch scratch;
+  bool scratch_reserved = false;  // arena pre-sized on first block touched
+};
+
+}  // namespace
 
 DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
   std::size_t pos = 0;
@@ -46,9 +57,7 @@ DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
   bit_config.tokens_per_subblock = header.tokens_per_subblock;
   bit_config.codeword_limit = header.codeword_limit;
 
-  std::mutex metrics_mutex;
-
-  auto decompress_one = [&](std::size_t b) {
+  auto decompress_one = [&](WorkerState& ws, std::size_t b, ThreadPool* lane_pool) {
     const ByteSpan payload_with_crc =
         file.subspan(offsets[b], offsets[b + 1] - offsets[b]);
     std::size_t p = 0;
@@ -62,32 +71,49 @@ DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
         header.block_size, result.data.size() - out_begin);
     const MutableByteSpan out_span(result.data.data() + out_begin, out_len);
 
-    simt::WarpMetrics block_metrics;
-    core::MultiPassStats block_multipass;
     if (mode == kBlockModeStored) {
       check(payload.size() == out_len, "decompress: stored block size mismatch");
       std::copy(payload.begin(), payload.end(), out_span.begin());
     } else {
       check(mode == kBlockModeCoded, "decompress: unknown block mode");
       // Phase 1: token decode (warp-parallel over sub-blocks for /Bit
-      // and /Tans).
-      core::TansCodecConfig tans_config;
-      tans_config.tokens_per_subblock = header.tokens_per_subblock;
-      const lz77::TokenBlock tokens =
-          header.codec == Codec::kByte  ? core::decode_block_byte(payload)
-          : header.codec == Codec::kBit ? core::decode_block_bit(payload, bit_config)
-                                        : core::decode_block_tans(payload, tans_config);
-      check(tokens.uncompressed_size == out_len, "decompress: block size mismatch");
-
-      // Phase 2: warp-parallel LZ77 resolution.
-      if (strategy == Strategy::kMultiPass) {
-        core::resolve_block_multipass(tokens.sequences, tokens.literals.data(),
-                                      tokens.literals.size(), out_span,
-                                      &block_multipass);
+      // and /Tans). The bit codec decodes into the worker's scratch arena
+      // — zero allocations once its buffers are warm — and optionally
+      // fans its sub-block lanes out across `lane_pool`.
+      lz77::TokenBlock local_block;  // byte/tans output (bit uses the arena)
+      const lz77::TokenBlock* tokens;
+      if (header.codec == Codec::kBit) {
+        // Pre-size the arena on the worker's first block (not eagerly for
+        // every pool participant — most workers never run when blocks are
+        // few), so no block decode ever grows a buffer.
+        if (!ws.scratch_reserved) {
+          ws.scratch.reserve(header.block_size, header.tokens_per_subblock);
+          ws.scratch_reserved = true;
+        }
+        tokens = &core::decode_block_bit(payload, bit_config, ws.scratch, lane_pool);
+      } else if (header.codec == Codec::kByte) {
+        local_block = core::decode_block_byte(payload);
+        tokens = &local_block;
       } else {
-        core::resolve_block(tokens.sequences, tokens.literals.data(),
-                            tokens.literals.size(), out_span, strategy,
-                            &block_metrics);
+        core::TansCodecConfig tans_config;
+        tans_config.tokens_per_subblock = header.tokens_per_subblock;
+        local_block = core::decode_block_tans(payload, tans_config);
+        tokens = &local_block;
+      }
+      check(tokens->uncompressed_size == out_len, "decompress: block size mismatch");
+
+      // Phase 2: warp-parallel LZ77 resolution, accumulating straight
+      // into the worker's metrics (all WarpMetrics updates are additive).
+      if (strategy == Strategy::kMultiPass) {
+        core::MultiPassStats block_multipass;
+        core::resolve_block_multipass(tokens->sequences, tokens->literals.data(),
+                                      tokens->literals.size(), out_span,
+                                      &block_multipass);
+        ws.multipass.merge(block_multipass);
+      } else {
+        core::resolve_block(tokens->sequences, tokens->literals.data(),
+                            tokens->literals.size(), out_span, strategy,
+                            &ws.metrics);
       }
     }
 
@@ -95,20 +121,46 @@ DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
       check(crc32(ByteSpan(out_span.data(), out_span.size())) == stored_crc,
             "decompress: block checksum mismatch (corrupt data)");
     }
-    {
-      std::lock_guard<std::mutex> lock(metrics_mutex);
-      result.metrics.merge(block_metrics);
-      result.multipass.merge(block_multipass);
-    }
   };
 
-  if (options.num_threads == 1) {
-    for (std::size_t b = 0; b < num_blocks; ++b) decompress_one(b);
-  } else if (options.num_threads == 0) {
-    default_pool().parallel_for(num_blocks, decompress_one);
+  // Pick the thread plan (see the header comment).
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> own_pool;
+  if (options.num_threads == 0) {
+    pool = &default_pool();
+  } else if (options.num_threads > 1) {
+    own_pool = std::make_unique<ThreadPool>(options.num_threads);
+    pool = own_pool.get();
+  }
+
+  std::vector<WorkerState> workers;
+  if (pool == nullptr || pool->parallelism() == 1) {
+    // Serial: one worker state, blocks in order.
+    workers.resize(1);
+    for (std::size_t b = 0; b < num_blocks; ++b) decompress_one(workers[0], b, nullptr);
+  } else if (num_blocks != 1 || header.codec != Codec::kBit) {
+    // (An empty file — zero blocks — also lands here; the parallel_for
+    // over zero indices is a no-op.)
+    // Inter-block parallelism: workers pull whole blocks from the queue.
+    // This stays the right plan even for 2 <= num_blocks < parallelism:
+    // lane fan-out only parallelises token decode, so pipelining whole
+    // blocks (token decode + resolution overlapped across blocks) beats
+    // serialising the blocks whenever there is more than one.
+    workers.resize(pool->parallelism());
+    pool->parallel_for_worker(num_blocks, [&](std::size_t worker, std::size_t b) {
+      decompress_one(workers[worker], b, nullptr);
+    });
   } else {
-    ThreadPool pool(options.num_threads);
-    pool.parallel_for(num_blocks, decompress_one);
+    // A single block cannot use inter-block parallelism at all: fan its
+    // sub-block decode lanes out across the pool instead.
+    workers.resize(1);
+    decompress_one(workers[0], 0, pool);
+  }
+
+  for (const WorkerState& ws : workers) {
+    result.metrics.merge(ws.metrics);
+    result.multipass.merge(ws.multipass);
+    result.scratch.merge(ws.scratch.stats);
   }
   return result;
 }

@@ -1,7 +1,17 @@
 // The Gompresso decompressor: inter-block parallelism across worker
 // threads, intra-block parallelism via the warp engine (§III-B).
+//
+// Thread plan: with at least as many blocks as pool participants, workers
+// pull whole blocks from the common queue (the paper's inter-block
+// parallelism). A single-block file cannot use that at all, so its
+// sub-block decode lanes are fanned out across the pool instead (the
+// paper's warp lanes, executed as real threads). Every worker owns a
+// DecodeScratch arena and private metric accumulators, merged once at the
+// end — the steady-state block loop takes no locks and performs no heap
+// allocations.
 #pragma once
 
+#include "core/decode_scratch.hpp"
 #include "core/mrr_multipass.hpp"
 #include "core/options.hpp"
 #include "simt/warp.hpp"
@@ -16,6 +26,12 @@ struct DecompressResult {
   Strategy strategy_used = Strategy::kMultiRound;
   simt::WarpMetrics metrics;
   core::MultiPassStats multipass;  // populated only for kMultiPass
+  /// Decode-arena reuse counters (bit codec). In the steady state every
+  /// block is a buffer_reuse (arenas are pre-reserved from the header
+  /// bound), and scratch.lane_fanouts counts blocks whose sub-block
+  /// lanes were decoded thread-parallel (the intra-block path taken for
+  /// a single-block file on a multi-thread pool).
+  core::ScratchStats scratch;
 };
 
 /// Decompresses a Gompresso file produced by gompresso::compress().

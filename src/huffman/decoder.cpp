@@ -3,22 +3,11 @@
 namespace gompresso::huffman {
 
 Decoder::Decoder(const std::vector<std::uint8_t>& lengths, unsigned table_bits)
-    : table_(std::size_t{1} << table_bits), table_bits_(table_bits) {
-  check(table_bits >= 1 && table_bits <= 15, "huffman: bad table_bits");
-  const auto codes = assign_canonical_codes(lengths);
-  for (std::size_t s = 0; s < codes.size(); ++s) {
-    const unsigned len = codes[s].length;
-    if (len == 0) continue;
-    check(len <= table_bits, "huffman: code longer than decode table");
-    // All table indices whose low `len` bits equal the reversed code map
-    // to this symbol.
-    const std::uint32_t base = reverse_bits(codes[s].code, len);
-    const std::uint32_t step = 1u << len;
-    for (std::uint32_t i = base; i < table_.size(); i += step) {
-      table_[i].symbol = static_cast<std::uint16_t>(s);
-      table_[i].length = static_cast<std::uint8_t>(len);
-    }
-  }
+    : table_bits_(table_bits) {
+  build_packed_table(lengths, table_bits, table_,
+                     [](std::uint16_t symbol, unsigned len) {
+                       return pack_entry(symbol, len);
+                     });
 }
 
 }  // namespace gompresso::huffman

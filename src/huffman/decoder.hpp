@@ -9,6 +9,13 @@
 // (LSB-first) code is a prefix of the bit pattern i, plus the code length
 // to consume. table_bits is the maximum codeword length CWL (10 in the
 // paper, §V-C).
+//
+// Each entry is packed into a single uint32_t (symbol in the low 16 bits,
+// code length in bits 16..23) so a decode is one 32-bit load — half the
+// bandwidth of the previous {uint16, uint8} struct and the exact shape a
+// GPU would keep in shared memory. Entry 0 is never a valid packed value
+// (a real entry always has length >= 1), so zero marks the table holes of
+// an incomplete code.
 #pragma once
 
 #include <cstdint>
@@ -24,15 +31,27 @@ class Decoder {
  public:
   static constexpr std::uint16_t kInvalidSymbol = 0xFFFF;
 
+  /// Packed entry accessors (shared with the fused decode tables).
+  static constexpr unsigned kLengthShift = 16;
+  static constexpr std::uint32_t pack_entry(std::uint16_t symbol, unsigned length) {
+    return static_cast<std::uint32_t>(symbol) |
+           (static_cast<std::uint32_t>(length) << kLengthShift);
+  }
+  static constexpr std::uint16_t entry_symbol(std::uint32_t e) {
+    return static_cast<std::uint16_t>(e);
+  }
+  static constexpr unsigned entry_length(std::uint32_t e) { return e >> kLengthShift; }
+
   /// Builds the lookup table from per-symbol code lengths.
   Decoder(const std::vector<std::uint8_t>& lengths, unsigned table_bits);
 
   /// Decodes one symbol; returns kInvalidSymbol on a bit pattern that is
-  /// not a valid codeword (corrupt stream).
+  /// not a valid codeword (corrupt stream). A single table load: the
+  /// packed entry carries both the symbol and the bits to consume.
   std::uint16_t decode(BitReader& reader) const {
-    const Entry e = table_[reader.peek(table_bits_)];
-    reader.consume(e.length);
-    return e.length == 0 ? kInvalidSymbol : e.symbol;
+    const std::uint32_t e = table_[reader.peek(table_bits_)];
+    reader.consume(entry_length(e));
+    return e == 0 ? kInvalidSymbol : entry_symbol(e);
   }
 
   unsigned table_bits() const { return table_bits_; }
@@ -40,15 +59,58 @@ class Decoder {
 
   /// On-chip memory footprint of this table in bytes; the paper's block
   /// size study (Fig. 12) hinges on this limiting GPU occupancy.
-  std::size_t footprint_bytes() const { return table_.size() * sizeof(Entry); }
+  std::size_t footprint_bytes() const { return table_.size() * sizeof(std::uint32_t); }
 
  private:
-  struct Entry {
-    std::uint16_t symbol = kInvalidSymbol;
-    std::uint8_t length = 0;  // 0 marks an invalid/unused entry
-  };
-  std::vector<Entry> table_;
+  std::vector<std::uint32_t> table_;
   unsigned table_bits_;
 };
+
+/// Fills `table` (resized to 2^table_bits, zeroed) with packed entries for
+/// a canonical code given per-symbol lengths; `transform(symbol)` maps a
+/// symbol to the 32-bit packed value stored for it (the plain decoder
+/// stores pack_entry(symbol, len); the fused codec tables store
+/// pre-decoded match parameters). Reuses the vector's capacity, so
+/// steady-state rebuilds allocate nothing.
+template <typename Transform>
+void build_packed_table(const std::vector<std::uint8_t>& lengths, unsigned table_bits,
+                        std::vector<std::uint32_t>& table, Transform&& transform) {
+  check(table_bits >= 1 && table_bits <= 15, "huffman: bad table_bits");
+  table.assign(std::size_t{1} << table_bits, 0);
+
+  // Canonical assignment (RFC 1951 §3.2.2) with stack-resident counters —
+  // unlike assign_canonical_codes() this path performs no heap allocation,
+  // which the per-block table rebuilds of the decode loop rely on.
+  std::uint32_t bl_count[16] = {};
+  unsigned max_len = 0;
+  for (const auto len : lengths) {
+    check(len <= 15, "huffman: code length exceeds 15");
+    ++bl_count[len];
+    max_len = std::max<unsigned>(max_len, len);
+  }
+  if (max_len == 0) return;  // empty code: all-holes table
+  check(max_len <= table_bits, "huffman: code longer than decode table");
+  check(kraft_sum(lengths, max_len) <= (1ull << max_len),
+        "huffman: over-subscribed code lengths");
+  std::uint32_t next_code[16] = {};
+  std::uint32_t code = 0;
+  bl_count[0] = 0;
+  for (unsigned len = 1; len <= max_len; ++len) {
+    code = (code + bl_count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const unsigned len = lengths[s];
+    if (len == 0) continue;
+    // All table indices whose low `len` bits equal the reversed code map
+    // to this symbol.
+    const std::uint32_t base = reverse_bits(next_code[len]++, len);
+    const std::uint32_t step = 1u << len;
+    const std::uint32_t packed = transform(static_cast<std::uint16_t>(s), len);
+    for (std::uint32_t i = base; i < table.size(); i += step) {
+      table[i] = packed;
+    }
+  }
+}
 
 }  // namespace gompresso::huffman

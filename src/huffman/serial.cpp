@@ -12,11 +12,17 @@ void write_code_lengths(const std::vector<std::uint8_t>& lengths, BitWriter& wri
 }
 
 std::vector<std::uint8_t> read_code_lengths(std::size_t count, BitReader& reader) {
-  std::vector<std::uint8_t> lengths(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    lengths[i] = static_cast<std::uint8_t>(reader.read(4));
-  }
+  std::vector<std::uint8_t> lengths;
+  read_code_lengths(count, reader, lengths);
   return lengths;
+}
+
+void read_code_lengths(std::size_t count, BitReader& reader,
+                       std::vector<std::uint8_t>& out) {
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::uint8_t>(reader.read(4));
+  }
 }
 
 }  // namespace gompresso::huffman

@@ -21,4 +21,9 @@ void write_code_lengths(const std::vector<std::uint8_t>& lengths, BitWriter& wri
 /// Reads `count` 4-bit code lengths.
 std::vector<std::uint8_t> read_code_lengths(std::size_t count, BitReader& reader);
 
+/// Reads `count` 4-bit code lengths into `out` (resized; its capacity is
+/// reused, so steady-state calls perform no heap allocation).
+void read_code_lengths(std::size_t count, BitReader& reader,
+                       std::vector<std::uint8_t>& out);
+
 }  // namespace gompresso::huffman

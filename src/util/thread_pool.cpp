@@ -1,6 +1,22 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+
 namespace gompresso {
+namespace {
+
+// The pool whose job the current thread is executing (nullptr outside any
+// job) and the thread's participant index in that pool. A nested
+// parallel_for on the *same* pool runs inline — re-entering the dispatch
+// protocol would deadlock the caller on its own job — and reports the
+// enclosing worker's index so per-worker slots stay exclusive. A call
+// into a *different* pool dispatches normally: that pool's state is
+// independent, and reusing the enclosing index there would break the
+// callee pool's index bound.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+thread_local std::size_t tls_worker_index = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -11,7 +27,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t workers = num_threads > 1 ? num_threads - 1 : 0;
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -24,21 +40,29 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::run_job(Job& job) {
+void ThreadPool::run_job(Job& job, std::size_t worker_index) const {
+  // Save/restore so a cross-pool call (this thread already inside another
+  // pool's job) regains its enclosing identity afterwards.
+  const ThreadPool* const prev_pool = tls_current_pool;
+  const std::size_t prev_index = tls_worker_index;
+  tls_current_pool = this;
+  tls_worker_index = worker_index;
   while (true) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.count) break;
     try {
-      (*job.fn)(i);
+      (*job.fn)(worker_index, i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(job.error_mutex);
       if (!job.error) job.error = std::current_exception();
     }
     job.done.fetch_add(1, std::memory_order_release);
   }
+  tls_current_pool = prev_pool;
+  tls_worker_index = prev_index;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   std::uint64_t served_generation = 0;
   while (true) {
     std::shared_ptr<Job> job;
@@ -51,16 +75,30 @@ void ThreadPool::worker_loop() {
       served_generation = generation_;
       job = current_;  // shared ownership keeps the job alive past the caller
     }
-    run_job(*job);
+    run_job(*job, worker_index);
+    // Bracket the notify with the mutex: the caller evaluates the done
+    // predicate under mutex_, so acquiring it here ensures the caller is
+    // either not yet waiting (and will see the final done count) or
+    // already blocked in wait (and receives this notification) — without
+    // the bracket the last notify could fire in the gap between the
+    // caller's predicate check and its block, hanging parallel_for.
+    { std::lock_guard<std::mutex> lock(mutex_); }
     done_cv_.notify_all();
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run(std::size_t count,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
-  if (threads_.empty() || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+  const bool nested_same_pool = tls_current_pool == this;
+  if (threads_.empty() || count == 1 || nested_same_pool) {
+    // Inline path: no workers, trivial job, or a nested call on the same
+    // pool from inside one of its jobs (re-entering the dispatcher would
+    // deadlock). The nested call keeps the enclosing job's worker index
+    // so per-worker slots stay exclusive; calls into a different pool
+    // take the normal dispatch path instead.
+    const std::size_t worker = nested_same_pool ? tls_worker_index : 0;
+    for (std::size_t i = 0; i < count; ++i) fn(worker, i);
     return;
   }
   auto job = std::make_shared<Job>();
@@ -72,7 +110,7 @@ void ThreadPool::parallel_for(std::size_t count,
     ++generation_;
   }
   cv_.notify_all();
-  run_job(*job);  // caller participates via the same common queue
+  run_job(*job, 0);  // caller participates via the same common queue
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&job] {
@@ -81,6 +119,29 @@ void ThreadPool::parallel_for(std::size_t count,
     current_.reset();
   }
   if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  run(count, [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void ThreadPool::parallel_for_worker(
+    std::size_t count,
+    const std::function<void(std::size_t worker, std::size_t i)>& fn) {
+  run(count, fn);
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t begin, std::size_t end)>& fn) {
+  if (count == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = (count + grain - 1) / grain;
+  run(chunks, [&fn, grain, count](std::size_t, std::size_t c) {
+    const std::size_t begin = c * grain;
+    fn(begin, std::min(count, begin + grain));
+  });
 }
 
 ThreadPool& default_pool() {

@@ -7,6 +7,19 @@
 // it immediately processes the next block from a common queue. This
 // balances the load across CPU threads despite input-dependent processing
 // times." This pool implements exactly that discipline.
+//
+// Extensions for the fast decode path:
+//   * parallel_for_worker exposes a dense participant index so callers can
+//     keep per-worker accumulators (scratch arenas, metrics) and merge
+//     once at the end instead of taking a mutex per block.
+//   * parallel_for_chunked dispatches [begin, end) ranges at a caller-
+//     chosen grain, which makes fanning out the many small sub-block lanes
+//     of a single block cheap (intra-block parallelism, §III-B).
+//   * A job running inside a pool may call any parallel_for variant
+//     again: on the same pool the nested call runs inline on the calling
+//     worker with its enclosing worker index (no deadlock, no
+//     oversubscription); on a different pool it dispatches normally,
+//     since that pool's workers and worker-index space are independent.
 #pragma once
 
 #include <atomic>
@@ -34,15 +47,36 @@ class ThreadPool {
 
   std::size_t num_threads() const { return threads_.size(); }
 
+  /// Total concurrent participants of a parallel_for: the spawned workers
+  /// plus the calling thread. Also the exclusive upper bound of the worker
+  /// index passed to parallel_for_worker.
+  std::size_t parallelism() const { return threads_.size() + 1; }
+
   /// Runs fn(i) for every i in [0, count), distributing indices across the
   /// workers via a shared counter. Blocks until all indices are processed.
   /// The calling thread participates in the work. Exceptions thrown by fn
   /// are captured and the first one is rethrown on the caller.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Like parallel_for, but fn also receives the dense index of the
+  /// participant executing it (0 = the calling thread, 1..num_threads() =
+  /// spawned workers). The same participant never runs two indices
+  /// concurrently, so fn may freely mutate per-worker state slot
+  /// `worker` without synchronisation.
+  void parallel_for_worker(
+      std::size_t count,
+      const std::function<void(std::size_t worker, std::size_t i)>& fn);
+
+  /// Runs fn(begin, end) over [0, count) in chunks of `grain` indices.
+  /// One queue pop dispatches a whole chunk, amortising the shared-counter
+  /// traffic when individual indices are tiny (sub-block lanes).
+  void parallel_for_chunked(
+      std::size_t count, std::size_t grain,
+      const std::function<void(std::size_t begin, std::size_t end)>& fn);
+
  private:
   struct Job {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::size_t count = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -50,8 +84,9 @@ class ThreadPool {
     std::mutex error_mutex;
   };
 
-  void worker_loop();
-  static void run_job(Job& job);
+  void run(std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn);
+  void worker_loop(std::size_t worker_index);
+  void run_job(Job& job, std::size_t worker_index) const;
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;

@@ -106,6 +106,54 @@ TEST(BitReader, EmptyBufferOverflowsImmediately) {
   EXPECT_TRUE(r.overflowed());
 }
 
+TEST(BitReader, PeekPastEndWithoutConsumeIsNotOverflow) {
+  // Regression: the 64-bit refill prefetches zero padding beyond the
+  // buffer; merely *peeking* those padded bits must not latch overflow.
+  const Bytes buf = {0xAB, 0xCD};
+  BitReader r(buf);
+  EXPECT_EQ(r.read(8), 0xABu);
+  EXPECT_EQ(r.peek(32), 0x00CDu);  // 8 real bits + 24 padded zero bits
+  EXPECT_FALSE(r.overflowed());
+  r.consume(8);  // consumes only real bits
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitReader, ConsumePastEndLatchesOverflow) {
+  const Bytes buf = {0xFF};
+  BitReader r(buf);
+  r.peek(32);
+  r.consume(9);  // one bit beyond the buffer
+  EXPECT_TRUE(r.overflowed());
+  // The latch is sticky: later in-accumulator reads don't clear it.
+  r.peek(4);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(BitReader, RefillGuaranteesUncheckedWindow) {
+  BitWriter w;
+  for (int i = 0; i < 32; ++i) w.write(0x1FFu & static_cast<unsigned>(i * 37), 9);
+  const Bytes buf = w.finish();
+  BitReader r(buf);
+  // After one refill, kGuaranteedBits bits are consumable without another
+  // conditional refill — the steady-state contract of the decode loop.
+  r.refill();
+  std::uint64_t got = 0;
+  for (int i = 0; i < 6; ++i) got = got * 512 + r.read_unchecked(9);  // 54 <= 56 bits
+  std::uint64_t want = 0;
+  for (int i = 0; i < 6; ++i) want = want * 512 + (0x1FFu & static_cast<unsigned>(i * 37));
+  EXPECT_EQ(got, want);
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(BitReader, RefillNearEndZeroPads) {
+  const Bytes buf = {0x5A, 0x3C, 0x7E};  // shorter than one refill word
+  BitReader r(buf);
+  r.refill();
+  EXPECT_EQ(r.read_unchecked(24), 0x7E3C5Au);
+  EXPECT_EQ(r.read_unchecked(24), 0u);  // zero padding
+  EXPECT_TRUE(r.overflowed());
+}
+
 TEST(BitReader, StartOffsetBeyondEnd) {
   const Bytes buf = {0x00, 0x01};
   BitReader r(buf, 100);

@@ -6,6 +6,7 @@
 #include "datagen/datasets.hpp"
 #include "lz77/parser.hpp"
 #include "lz77/ref_decoder.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gompresso::core {
 namespace {
@@ -174,6 +175,40 @@ TEST(BitCodec, CorruptBitstreamDetected) {
     }
   }
   EXPECT_EQ(detected, trials);
+}
+
+TEST(BitCodec, ScratchReusesBuffersAndTables) {
+  BitCodecConfig cfg;
+  const lz77::TokenBlock tokens = parse_dataset(0, 60000);
+  const Bytes payload = encode_block_bit(tokens, cfg);
+  DecodeScratch scratch;
+  EXPECT_TRUE(token_blocks_equal(tokens, decode_block_bit(payload, cfg, scratch)));
+  EXPECT_EQ(scratch.stats.blocks, 1u);
+  EXPECT_EQ(scratch.stats.table_builds, 1u);
+  EXPECT_EQ(scratch.stats.buffer_reuses, 0u);  // cold buffers grew
+  // Decoding the same payload again must reuse everything: identical tree
+  // bytes hit the table cache, warm buffers grow nothing.
+  EXPECT_TRUE(token_blocks_equal(tokens, decode_block_bit(payload, cfg, scratch)));
+  EXPECT_EQ(scratch.stats.blocks, 2u);
+  EXPECT_EQ(scratch.stats.table_builds, 1u);
+  EXPECT_EQ(scratch.stats.table_reuses, 1u);
+  EXPECT_EQ(scratch.stats.buffer_reuses, 1u);
+}
+
+TEST(BitCodec, LanePoolFanOutMatchesSerialDecode) {
+  // Many sub-blocks, decoded once serially and once with the sub-block
+  // lanes fanned out across a pool — bit-identical token blocks.
+  BitCodecConfig cfg;
+  cfg.tokens_per_subblock = 4;  // lots of lanes
+  const lz77::TokenBlock tokens = parse_dataset(0, 120000);
+  const Bytes payload = encode_block_bit(tokens, cfg);
+  DecodeScratch serial_scratch;
+  const lz77::TokenBlock serial = decode_block_bit(payload, cfg, serial_scratch);
+  ThreadPool pool(4);
+  DecodeScratch pooled_scratch;
+  const lz77::TokenBlock& pooled = decode_block_bit(payload, cfg, pooled_scratch, &pool);
+  EXPECT_TRUE(token_blocks_equal(serial, pooled));
+  EXPECT_TRUE(token_blocks_equal(tokens, pooled));
 }
 
 TEST(BitCodec, RejectsBadMatchDomain) {

@@ -181,6 +181,80 @@ TEST(Options, StrategyNames) {
   EXPECT_STREQ(strategy_name(Strategy::kMultiPass), "MRR-multipass");
 }
 
+TEST(IntraBlock, SingleBlockScalesAcrossSubblocks) {
+  // One block, many threads: decompression must take the intra-block
+  // path (sub-block lanes fanned out across the pool) and produce the
+  // same bytes as the serial path.
+  const Bytes input = datagen::wikipedia(300000);
+  CompressOptions opt;
+  opt.codec = Codec::kBit;
+  opt.block_size = 512 * 1024;  // > input: exactly one block
+  const Bytes file = compress(input, opt);
+
+  DecompressOptions dopt;
+  dopt.num_threads = 4;
+  const DecompressResult parallel = decompress(file, dopt);
+  EXPECT_EQ(parallel.data, input);
+  EXPECT_EQ(parallel.scratch.lane_fanouts, 1u) << "single block + 4 threads must fan out lanes";
+
+  dopt.num_threads = 1;
+  const DecompressResult serial = decompress(file, dopt);
+  EXPECT_EQ(serial.data, input);
+  EXPECT_EQ(serial.scratch.lane_fanouts, 0u);
+}
+
+TEST(IntraBlock, EmptyInputDecompressesOnAnyThreadCount) {
+  // Zero blocks must not take the single-block fan-out path (regression:
+  // it used to read past the end of the offsets table under threads).
+  const Bytes input;
+  CompressOptions opt;
+  opt.codec = Codec::kBit;
+  const Bytes file = compress(input, opt);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    DecompressOptions dopt;
+    dopt.num_threads = threads;
+    const DecompressResult r = decompress(file, dopt);
+    EXPECT_TRUE(r.data.empty()) << "threads=" << threads;
+    EXPECT_EQ(r.scratch.lane_fanouts, 0u);
+  }
+}
+
+TEST(IntraBlock, ManyBlocksKeepBlockParallelPath) {
+  const Bytes input = datagen::wikipedia(300000);
+  CompressOptions opt;
+  opt.codec = Codec::kBit;
+  opt.block_size = 32 * 1024;  // ~10 blocks >= 2 threads
+  const Bytes file = compress(input, opt);
+  DecompressOptions dopt;
+  dopt.num_threads = 2;
+  const DecompressResult r = decompress(file, dopt);
+  EXPECT_EQ(r.data, input);
+  EXPECT_EQ(r.scratch.lane_fanouts, 0u);
+}
+
+TEST(Scratch, SteadyStateDecodeAllocatesNothing) {
+  // Eight identical blocks, one worker: the arena is pre-reserved from
+  // the header's block-size bound, so every block (including the first)
+  // must reuse the buffers, and identical trees must hit the table cache
+  // after the first build — zero allocations per block.
+  const Bytes tile = datagen::wikipedia(64 * 1024);
+  Bytes input;
+  for (int i = 0; i < 8; ++i) input.insert(input.end(), tile.begin(), tile.end());
+  CompressOptions opt;
+  opt.codec = Codec::kBit;
+  opt.block_size = 64 * 1024;
+  const Bytes file = compress(input, opt);
+
+  DecompressOptions dopt;
+  dopt.num_threads = 1;
+  const DecompressResult r = decompress(file, dopt);
+  EXPECT_EQ(r.data, input);
+  EXPECT_EQ(r.scratch.blocks, 8u);
+  EXPECT_EQ(r.scratch.buffer_reuses, 8u);  // pre-reserved: no block grew
+  EXPECT_EQ(r.scratch.table_builds, 1u);
+  EXPECT_EQ(r.scratch.table_reuses, 7u);
+}
+
 TEST(Metrics, DecompressionReportsWarpActivity) {
   const Bytes input = datagen::wikipedia(300000);
   CompressOptions opt;

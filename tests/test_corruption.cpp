@@ -41,6 +41,37 @@ INSTANTIATE_TEST_SUITE_P(Configs, CorruptionSweep,
                          ::testing::Combine(::testing::Values(Codec::kByte, Codec::kBit),
                                             ::testing::Bool()));
 
+TEST(Corruption, PackedTableRejectsInvalidCodewords) {
+  // Target the Huffman tree section specifically: flipping serialized
+  // code lengths yields decode tables with different holes, so the
+  // packed-table fast path must hit an invalid (all-zero) entry or some
+  // other structural check — or the CRC catches a silently altered
+  // decode. Never silent wrong output.
+  const Bytes input = datagen::wikipedia(120000);
+  CompressOptions opt;
+  opt.codec = Codec::kBit;
+  const Bytes file = compress(input, opt);
+  format::FileHeader header;
+  std::size_t pos = 0;
+  header = format::FileHeader::deserialize(file, pos);
+  // Block payload: crc32 u32, mode u8, then varints + sub-block table +
+  // tree nibbles. Probe a window that covers the tree section.
+  Rng rng(77);
+  int silent_wrong = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Bytes bad = file;
+    const std::size_t at = pos + 5 + rng.next_below(400);
+    bad[at] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    try {
+      const Bytes out = decompress_bytes(bad);
+      if (out != input) ++silent_wrong;
+    } catch (const Error&) {
+      // detected: good
+    }
+  }
+  EXPECT_EQ(silent_wrong, 0);
+}
+
 TEST(Corruption, TruncationAlwaysDetected) {
   const Bytes input = datagen::matrix(150000);
   const Bytes file = compress(input, {});

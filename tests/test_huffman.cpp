@@ -148,6 +148,58 @@ TEST(ReverseBits, Basic) {
   EXPECT_EQ(reverse_bits(0, 10), 0u);
 }
 
+TEST(Decoder, PackedEntryRoundTrips) {
+  // The packed uint32 layout is shared with the fused codec tables.
+  const std::uint32_t e = Decoder::pack_entry(0x1234, 11);
+  EXPECT_EQ(Decoder::entry_symbol(e), 0x1234u);
+  EXPECT_EQ(Decoder::entry_length(e), 11u);
+  // Entry 0 is reserved for table holes: any real entry has length >= 1.
+  EXPECT_NE(Decoder::pack_entry(0, 1), 0u);
+}
+
+TEST(Decoder, DegenerateSingleSymbolTree) {
+  // A one-symbol alphabet gets a single 1-bit code; every peeked pattern
+  // with a 0 in the low bit decodes to it, a 1 is an invalid codeword.
+  const auto lengths = build_code_lengths({0, 7, 0}, 10);
+  ASSERT_EQ(lengths[1], 1u);
+  const Encoder enc(assign_canonical_codes(lengths));
+  const Decoder dec(lengths, 10);
+  BitWriter w;
+  for (int i = 0; i < 100; ++i) enc.encode(1, w);
+  const Bytes buf = w.finish();
+  BitReader r(buf);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(dec.decode(r), 1u);
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(Decoder, AllCodewordLengthLimits) {
+  // CWL 9..15: the full range the bit codec accepts. Skewed frequencies
+  // force codes at the limit; every tree must round-trip.
+  std::vector<std::uint64_t> freqs(286);
+  std::uint64_t f = 1;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    freqs[s] = f;
+    if (s % 10 == 9) f *= 2;  // geometric decay -> long tail codes
+  }
+  for (unsigned cwl = 9; cwl <= 15; ++cwl) {
+    const auto lengths = build_code_lengths(freqs, cwl);
+    unsigned max_len = 0;
+    for (const auto len : lengths) max_len = std::max<unsigned>(max_len, len);
+    EXPECT_EQ(max_len, cwl) << "skew should saturate the limit";
+    const Encoder enc(assign_canonical_codes(lengths));
+    const Decoder dec(lengths, cwl);
+    Rng rng(cwl);
+    std::vector<std::uint16_t> symbols(2000);
+    for (auto& s : symbols) s = static_cast<std::uint16_t>(rng.next_below(286));
+    BitWriter w;
+    for (const auto s : symbols) enc.encode(s, w);
+    const Bytes buf = w.finish();
+    BitReader r(buf);
+    for (const auto expected : symbols) ASSERT_EQ(dec.decode(r), expected);
+    EXPECT_FALSE(r.overflowed()) << "cwl=" << cwl;
+  }
+}
+
 TEST(Decoder, InvalidPatternYieldsInvalidSymbol) {
   // Incomplete code: one symbol of length 2 leaves table holes.
   std::vector<std::uint8_t> lengths = {2};

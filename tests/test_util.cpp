@@ -169,6 +169,58 @@ TEST(ThreadPool, ReusableAcrossJobs) {
   }
 }
 
+TEST(ThreadPool, WorkerIndicesAreBoundedAndExclusive) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.parallelism(), 4u);
+  std::vector<std::atomic<int>> per_worker(pool.parallelism());
+  std::atomic<int> total{0};
+  pool.parallel_for_worker(500, [&](std::size_t worker, std::size_t) {
+    ASSERT_LT(worker, pool.parallelism());
+    per_worker[worker].fetch_add(1);
+    total.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, ChunkedCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  pool.parallel_for_chunked(777, 13, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(end, 777u);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedSamePoolRunsInlineWithEnclosingIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for_worker(8, [&](std::size_t outer_worker, std::size_t) {
+    pool.parallel_for_worker(10, [&](std::size_t inner_worker, std::size_t) {
+      // Same pool: the nested call must keep the enclosing worker's
+      // identity so per-worker slots stay exclusive.
+      ASSERT_EQ(inner_worker, outer_worker);
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 10);
+}
+
+TEST(ThreadPool, NestedDifferentPoolDispatchesWithOwnBounds) {
+  // A job in pool A calling pool B must respect B's (smaller) worker
+  // index space — regression for the cross-pool inline-index bug.
+  ThreadPool outer(4);
+  ThreadPool inner(2);
+  std::atomic<int> inner_total{0};
+  outer.parallel_for(6, [&](std::size_t) {
+    inner.parallel_for_worker(20, [&](std::size_t worker, std::size_t) {
+      ASSERT_LT(worker, inner.parallelism());
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 6 * 20);
+}
+
 TEST(ThreadPool, SingleThreadFallback) {
   ThreadPool pool(1);
   EXPECT_EQ(pool.num_threads(), 0u);  // caller-only execution
