@@ -4,6 +4,9 @@
 //   gomp c [options] <input> <output>    compress a file
 //   gomp d <input> <output>              decompress a file
 //   gomp info <input>                    print container metadata
+//   gomp cat [options] <input> [out]     stream-decode via a DecodeSession
+//   gomp range <input> <off> <len> [out] random-access read via a session
+//   gomp index <input> [sidecar]         write the seek-index sidecar
 //
 // Compression options:
 //   --byte            use Gompresso/Byte (default: Gompresso/Bit)
@@ -15,10 +18,20 @@
 //   --effort <N>      match-finder chain depth (default 16)
 // Decompression options:
 //   --strategy <s>    sc | mrr | de | multipass (default: auto)
+// Session options (cat/range):
+//   --threads <N>     prefetch pipeline threads (0 = shared pool)
+//   --inflight <N>    prefetch window in blocks (default 4)
+//   --cache <N>       decoded-block LRU capacity (default 8)
+//   --index <path>    load the seek index from a sidecar (see gomp index)
+// cat/range accept GMPZ containers and GMPS streams alike; with no
+// output path the bytes go to stdout and the stats to stderr.
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/gompresso.hpp"
 #include "util/stopwatch.hpp"
@@ -52,8 +65,129 @@ int usage() {
                "usage: gomp c [--byte] [--no-de] [--block KB] [--window B]\n"
                "              [--subblock N] [--effort N] <input> <output>\n"
                "       gomp d [--strategy sc|mrr|de|multipass] <input> <output>\n"
-               "       gomp info <input>\n");
+               "       gomp info <input>\n"
+               "       gomp cat [--threads N] [--inflight N] [--cache N]\n"
+               "                [--index SIDECAR] <input> [<output>]\n"
+               "       gomp range [session opts] <input> <offset> <len> [<output>]\n"
+               "       gomp index <input> [<sidecar>]\n");
   return 2;
+}
+
+/// Parses the session flags shared by cat/range; leaves positional
+/// arguments in `positional`. Returns false on a malformed flag.
+bool parse_session_args(int argc, char** argv, serve::SessionOptions& opt,
+                        std::string& index_path,
+                        std::vector<std::string>& positional) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      opt.num_threads = std::stoul(argv[++i]);
+    } else if (arg == "--inflight" && i + 1 < argc) {
+      opt.max_inflight_blocks = std::stoul(argv[++i]);
+    } else if (arg == "--cache" && i + 1 < argc) {
+      opt.cache_blocks = std::stoul(argv[++i]);
+    } else if (arg == "--index" && i + 1 < argc) {
+      index_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+/// Opens a session over `input_path`, via the sidecar when given.
+std::unique_ptr<DecodeSession> open_session(const std::string& input_path,
+                                            const std::string& index_path,
+                                            const serve::SessionOptions& opt) {
+  auto source = serve::open_file_source(input_path);
+  if (!index_path.empty()) {
+    return std::make_unique<DecodeSession>(std::move(source),
+                                           serve::SeekIndex::load(index_path), opt);
+  }
+  return std::make_unique<DecodeSession>(std::move(source), opt);
+}
+
+void print_session_stats(const DecodeSession& session, std::uint64_t bytes,
+                         double seconds) {
+  const serve::SessionStats st = session.stats();
+  std::fprintf(stderr,
+               "%llu bytes in %.3fs (%.1f MB/s), %zu blocks indexed, "
+               "%llu decoded, %llu cache hits, %llu evictions, "
+               "peak pooled %.1f MiB\n",
+               static_cast<unsigned long long>(bytes), seconds,
+               seconds > 0 ? bytes / 1e6 / seconds : 0.0,
+               session.index().num_blocks(),
+               static_cast<unsigned long long>(st.blocks_decoded),
+               static_cast<unsigned long long>(st.cache_hits),
+               static_cast<unsigned long long>(st.evictions),
+               st.pool.peak_outstanding_bytes / 1048576.0);
+}
+
+int cmd_cat(int argc, char** argv) {
+  serve::SessionOptions opt;
+  std::string index_path;
+  std::vector<std::string> positional;
+  if (!parse_session_args(argc, argv, opt, index_path, positional)) return usage();
+  if (positional.empty() || positional.size() > 2) return usage();
+
+  const auto session = open_session(positional[0], index_path, opt);
+  std::FILE* out = positional.size() == 2
+                       ? std::fopen(positional[1].c_str(), "wb")
+                       : stdout;
+  check(out != nullptr, "cannot open output file");
+
+  Stopwatch timer;
+  Bytes chunk(kStreamCopyChunk);
+  std::uint64_t total = 0;
+  std::size_t n;
+  while ((n = session->read(MutableByteSpan(chunk.data(), chunk.size()))) > 0) {
+    check(std::fwrite(chunk.data(), 1, n, out) == n, "write failed");
+    total += n;
+  }
+  const double seconds = timer.seconds();
+  if (out != stdout) std::fclose(out);
+  print_session_stats(*session, total, seconds);
+  return 0;
+}
+
+int cmd_range(int argc, char** argv) {
+  serve::SessionOptions opt;
+  std::string index_path;
+  std::vector<std::string> positional;
+  if (!parse_session_args(argc, argv, opt, index_path, positional)) return usage();
+  if (positional.size() < 3 || positional.size() > 4) return usage();
+  const std::uint64_t offset = std::stoull(positional[1]);
+  const std::size_t length = std::stoull(positional[2]);
+
+  const auto session = open_session(positional[0], index_path, opt);
+  Stopwatch timer;
+  const Bytes data = session->read_bytes_at(offset, length);
+  const double seconds = timer.seconds();
+
+  std::FILE* out = positional.size() == 4
+                       ? std::fopen(positional[3].c_str(), "wb")
+                       : stdout;
+  check(out != nullptr, "cannot open output file");
+  check(std::fwrite(data.data(), 1, data.size(), out) == data.size(), "write failed");
+  if (out != stdout) std::fclose(out);
+  print_session_stats(*session, data.size(), seconds);
+  return 0;
+}
+
+int cmd_index(int argc, char** argv) {
+  if (argc < 1 || argc > 2) return usage();
+  const std::string input_path = argv[0];
+  const std::string sidecar_path = argc == 2 ? argv[1] : input_path + ".gmpx";
+  const auto source = serve::open_file_source(input_path);
+  const serve::SeekIndex index = serve::SeekIndex::build(*source);
+  index.save(sidecar_path);
+  std::printf("%s: %zu segments, %zu blocks, %llu uncompressed bytes -> %s\n",
+              input_path.c_str(), index.num_segments(), index.num_blocks(),
+              static_cast<unsigned long long>(index.total_uncompressed()),
+              sidecar_path.c_str());
+  return 0;
 }
 
 int cmd_compress(int argc, char** argv) {
@@ -170,9 +304,17 @@ int main(int argc, char** argv) {
     if (cmd == "c") return cmd_compress(argc - 2, argv + 2);
     if (cmd == "d") return cmd_decompress(argc - 2, argv + 2);
     if (cmd == "info") return cmd_info(argc - 2, argv + 2);
+    if (cmd == "cat") return cmd_cat(argc - 2, argv + 2);
+    if (cmd == "range") return cmd_range(argc - 2, argv + 2);
+    if (cmd == "index") return cmd_index(argc - 2, argv + 2);
   } catch (const gompresso::Error& e) {
     std::fprintf(stderr, "gomp: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    // std::stoul and friends throw std::invalid_argument/out_of_range on
+    // malformed numeric flags; fail with a message, not std::terminate.
+    std::fprintf(stderr, "gomp: invalid argument (%s)\n", e.what());
+    return usage();
   }
   return usage();
 }

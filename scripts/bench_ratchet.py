@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Benchmark ratchet: fail CI on a >10% median regression.
+
+Compares a freshly emitted BENCH_decode.json against the committed
+baseline (bench/baselines/). Absolute MB/s is machine-dependent, so each
+entry is first normalized by a reference entry measured in the *same*
+run — the compiled-in legacy decoder (pipeline/bit/DE/legacy-v0) — which
+cancels the host's single-thread speed. What the ratchet then compares
+across commits is "speedup over the legacy reference", a
+machine-portable number.
+
+A single entry can still be noisy on shared runners, so the gate is the
+*median* relative change across all baseline entries (the satellite's
+">10% median regression" rule): half the suite has to get slower before
+the ratchet trips.
+
+Usage: bench_ratchet.py <baseline.json> <current.json>
+           [--threshold 0.10] [--ref pipeline/bit/DE/legacy-v0]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    entries = {e["name"]: float(e["mb_per_s"]) for e in doc["entries"]}
+    if not entries:
+        sys.exit(f"ratchet: {path} contains no entries")
+    return entries
+
+
+def normalized(entries, ref_name, path):
+    ref = entries.get(ref_name)
+    if ref is None or ref <= 0:
+        sys.exit(f"ratchet: reference entry '{ref_name}' missing from {path}")
+    return {name: mbps / ref for name, mbps in entries.items() if name != ref_name}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="median relative regression that fails the gate")
+    parser.add_argument("--ref", default="pipeline/bit/DE/legacy-v0",
+                        help="reference entry used to normalize out machine speed")
+    args = parser.parse_args()
+
+    base = normalized(load_entries(args.baseline), args.ref, args.baseline)
+    cur = normalized(load_entries(args.current), args.ref, args.current)
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        sys.exit(f"ratchet: entries missing from {args.current}: {missing}")
+
+    changes = []
+    print(f"{'entry':<32} {'baseline':>10} {'current':>10} {'change':>8}")
+    for name in sorted(base):
+        # change > 0 is an improvement relative to the in-run reference.
+        change = cur[name] / base[name] - 1.0
+        changes.append(change)
+        print(f"{name:<32} {base[name]:>9.3f}x {cur[name]:>9.3f}x {change:>+7.1%}")
+
+    median_change = statistics.median(changes)
+    print(f"\nmedian change vs baseline: {median_change:+.1%} "
+          f"(gate: > -{args.threshold:.0%})")
+    if median_change < -args.threshold:
+        sys.exit("ratchet: median regression exceeds the threshold — "
+                 "either fix the regression or (for an intentional trade-off) "
+                 "re-baseline bench/baselines/ with a fresh run and justify it "
+                 "in the PR")
+    print("ratchet: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#include "core/block_decode.hpp"
+
+#include "core/bit_codec.hpp"
+#include "core/byte_codec.hpp"
+#include "core/tans_codec.hpp"
+#include "core/warp_lz77.hpp"
+#include "util/crc32.hpp"
+#include "util/varint.hpp"
+
+namespace gompresso::core {
+
+Strategy resolve_strategy(const DecompressOptions& options,
+                          const format::FileHeader& header) {
+  if (options.auto_strategy) {
+    return header.dependency_elimination ? Strategy::kDependencyFree
+                                         : Strategy::kMultiRound;
+  }
+  if (options.strategy == Strategy::kDependencyFree) {
+    check(header.dependency_elimination,
+          "decompress: DE strategy requires a DE-compressed file");
+  }
+  return options.strategy;
+}
+
+void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc,
+                     MutableByteSpan out, Strategy strategy, bool verify_checksum,
+                     BlockDecodeContext& ctx, ThreadPool* lane_pool) {
+  std::size_t p = 0;
+  const std::uint32_t stored_crc = get_u32le(payload_with_crc, p);
+  check(p < payload_with_crc.size(), "decompress: truncated block payload");
+  const std::uint8_t mode = payload_with_crc[p++];
+  const ByteSpan payload = payload_with_crc.subspan(p);
+
+  if (mode == kBlockModeStored) {
+    check(payload.size() == out.size(), "decompress: stored block size mismatch");
+    std::copy(payload.begin(), payload.end(), out.begin());
+  } else {
+    check(mode == kBlockModeCoded, "decompress: unknown block mode");
+    // Phase 1: token decode (warp-parallel over sub-blocks for /Bit
+    // and /Tans). The bit codec decodes into the context's scratch arena
+    // — zero allocations once its buffers are warm — and optionally fans
+    // its sub-block lanes out across `lane_pool`.
+    lz77::TokenBlock local_block;  // byte/tans output (bit uses the arena)
+    const lz77::TokenBlock* tokens;
+    if (header.codec == Codec::kBit) {
+      // Pre-size the arena on the context's first block (not eagerly —
+      // most pool participants never run when blocks are few), so no
+      // block decode ever grows a buffer.
+      if (!ctx.scratch_reserved) {
+        ctx.scratch.reserve(header.block_size, header.tokens_per_subblock);
+        ctx.scratch_reserved = true;
+      }
+      BitCodecConfig bit_config;
+      bit_config.tokens_per_subblock = header.tokens_per_subblock;
+      bit_config.codeword_limit = header.codeword_limit;
+      tokens = &decode_block_bit(payload, bit_config, ctx.scratch, lane_pool);
+    } else if (header.codec == Codec::kByte) {
+      local_block = decode_block_byte(payload);
+      tokens = &local_block;
+    } else {
+      TansCodecConfig tans_config;
+      tans_config.tokens_per_subblock = header.tokens_per_subblock;
+      local_block = decode_block_tans(payload, tans_config);
+      tokens = &local_block;
+    }
+    check(tokens->uncompressed_size == out.size(), "decompress: block size mismatch");
+
+    // Phase 2: warp-parallel LZ77 resolution, accumulating straight into
+    // the context's metrics (all WarpMetrics updates are additive).
+    if (strategy == Strategy::kMultiPass) {
+      MultiPassStats block_multipass;
+      resolve_block_multipass(tokens->sequences, tokens->literals.data(),
+                              tokens->literals.size(), out, &block_multipass);
+      ctx.multipass.merge(block_multipass);
+    } else {
+      resolve_block(tokens->sequences, tokens->literals.data(),
+                    tokens->literals.size(), out, strategy, &ctx.metrics);
+    }
+  }
+
+  if (verify_checksum) {
+    check(crc32(ByteSpan(out.data(), out.size())) == stored_crc,
+          "decompress: block checksum mismatch (corrupt data)");
+  }
+}
+
+}  // namespace gompresso::core

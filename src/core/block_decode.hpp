@@ -1,0 +1,45 @@
+// Single-block decode, shared by the batch and streaming paths.
+//
+// decompress() (whole file in RAM, core/decompressor.cpp) and the serve
+// subsystem's DecodeSession (bounded-memory random access,
+// serve/decode_session.cpp) decode the same block payloads; this is the
+// one implementation both call. A block payload is what the per-block
+// size list delimits in Fig. 3: CRC32, mode byte, then the codec body.
+#pragma once
+
+#include "core/decode_scratch.hpp"
+#include "core/mrr_multipass.hpp"
+#include "core/options.hpp"
+#include "simt/warp.hpp"
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gompresso::core {
+
+/// Everything one decode participant (pool worker, serve prefetch task)
+/// mutates while decoding blocks. Contexts are private to a participant,
+/// so block decode needs no locks; accumulated metrics are merged by the
+/// owner once at the end.
+struct BlockDecodeContext {
+  simt::WarpMetrics metrics;
+  MultiPassStats multipass;
+  DecodeScratch scratch;
+  bool scratch_reserved = false;  // arena pre-sized on first block touched
+};
+
+/// Resolves the effective strategy for a file: auto picks kDependencyFree
+/// for DE-compressed files and kMultiRound otherwise; an explicit
+/// kDependencyFree request on a non-DE file throws.
+Strategy resolve_strategy(const DecompressOptions& options,
+                          const format::FileHeader& header);
+
+/// Decodes one block payload (CRC32 + mode byte + codec body, i.e. the
+/// byte range the header's size list assigns to the block) into `out`,
+/// which must be sized to the block's uncompressed length. `lane_pool`
+/// optionally fans the bit codec's sub-block lanes out across a pool
+/// (single-block files); pass nullptr to stay on the calling thread.
+void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc,
+                     MutableByteSpan out, Strategy strategy, bool verify_checksum,
+                     BlockDecodeContext& ctx, ThreadPool* lane_pool = nullptr);
+
+}  // namespace gompresso::core

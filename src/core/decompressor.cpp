@@ -1,40 +1,19 @@
 #include "core/decompressor.hpp"
 
-#include "core/bit_codec.hpp"
-#include "core/byte_codec.hpp"
-#include "core/tans_codec.hpp"
-#include "core/warp_lz77.hpp"
-#include "util/crc32.hpp"
+#include "core/block_decode.hpp"
 #include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 
 namespace gompresso {
-namespace {
-
-/// Everything one pool participant mutates while decoding blocks. Slots
-/// are per-worker, so the block loop needs no mutex; the accumulators are
-/// merged into the DecompressResult once at the end.
-struct WorkerState {
-  simt::WarpMetrics metrics;
-  core::MultiPassStats multipass;
-  core::DecodeScratch scratch;
-  bool scratch_reserved = false;  // arena pre-sized on first block touched
-};
-
-}  // namespace
 
 DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
   std::size_t pos = 0;
   const format::FileHeader header = format::FileHeader::deserialize(file, pos);
+  // Catch a truncated or corrupt-length file with one clear error before
+  // any block decode can trip over it.
+  header.check_payload(file.size() - pos);
 
-  Strategy strategy = options.strategy;
-  if (options.auto_strategy) {
-    strategy = header.dependency_elimination ? Strategy::kDependencyFree
-                                             : Strategy::kMultiRound;
-  } else if (strategy == Strategy::kDependencyFree) {
-    check(header.dependency_elimination,
-          "decompress: DE strategy requires a DE-compressed file");
-  }
+  const Strategy strategy = core::resolve_strategy(options, header);
 
   // Locate every block payload from the size list (inter-block
   // parallelism needs no scanning, Fig. 3).
@@ -44,83 +23,21 @@ DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
   for (std::size_t b = 0; b < num_blocks; ++b) {
     offsets[b + 1] = offsets[b] + static_cast<std::size_t>(header.block_compressed_sizes[b]);
   }
-  check(offsets[num_blocks] == file.size(), "decompress: file size mismatch");
-  check(header.block_size > 0, "decompress: zero block size");
-  check(num_blocks == div_ceil<std::uint64_t>(header.uncompressed_size, header.block_size),
-        "decompress: block count mismatch");
 
   DecompressResult result;
   result.strategy_used = strategy;
   result.data.resize(static_cast<std::size_t>(header.uncompressed_size));
 
-  core::BitCodecConfig bit_config;
-  bit_config.tokens_per_subblock = header.tokens_per_subblock;
-  bit_config.codeword_limit = header.codeword_limit;
-
-  auto decompress_one = [&](WorkerState& ws, std::size_t b, ThreadPool* lane_pool) {
+  auto decompress_one = [&](core::BlockDecodeContext& ctx, std::size_t b,
+                            ThreadPool* lane_pool) {
     const ByteSpan payload_with_crc =
         file.subspan(offsets[b], offsets[b + 1] - offsets[b]);
-    std::size_t p = 0;
-    const std::uint32_t stored_crc = get_u32le(payload_with_crc, p);
-    check(p < payload_with_crc.size(), "decompress: truncated block payload");
-    const std::uint8_t mode = payload_with_crc[p++];
-    const ByteSpan payload = payload_with_crc.subspan(p);
-
     const std::size_t out_begin = b * header.block_size;
     const std::size_t out_len = std::min<std::size_t>(
         header.block_size, result.data.size() - out_begin);
-    const MutableByteSpan out_span(result.data.data() + out_begin, out_len);
-
-    if (mode == kBlockModeStored) {
-      check(payload.size() == out_len, "decompress: stored block size mismatch");
-      std::copy(payload.begin(), payload.end(), out_span.begin());
-    } else {
-      check(mode == kBlockModeCoded, "decompress: unknown block mode");
-      // Phase 1: token decode (warp-parallel over sub-blocks for /Bit
-      // and /Tans). The bit codec decodes into the worker's scratch arena
-      // — zero allocations once its buffers are warm — and optionally
-      // fans its sub-block lanes out across `lane_pool`.
-      lz77::TokenBlock local_block;  // byte/tans output (bit uses the arena)
-      const lz77::TokenBlock* tokens;
-      if (header.codec == Codec::kBit) {
-        // Pre-size the arena on the worker's first block (not eagerly for
-        // every pool participant — most workers never run when blocks are
-        // few), so no block decode ever grows a buffer.
-        if (!ws.scratch_reserved) {
-          ws.scratch.reserve(header.block_size, header.tokens_per_subblock);
-          ws.scratch_reserved = true;
-        }
-        tokens = &core::decode_block_bit(payload, bit_config, ws.scratch, lane_pool);
-      } else if (header.codec == Codec::kByte) {
-        local_block = core::decode_block_byte(payload);
-        tokens = &local_block;
-      } else {
-        core::TansCodecConfig tans_config;
-        tans_config.tokens_per_subblock = header.tokens_per_subblock;
-        local_block = core::decode_block_tans(payload, tans_config);
-        tokens = &local_block;
-      }
-      check(tokens->uncompressed_size == out_len, "decompress: block size mismatch");
-
-      // Phase 2: warp-parallel LZ77 resolution, accumulating straight
-      // into the worker's metrics (all WarpMetrics updates are additive).
-      if (strategy == Strategy::kMultiPass) {
-        core::MultiPassStats block_multipass;
-        core::resolve_block_multipass(tokens->sequences, tokens->literals.data(),
-                                      tokens->literals.size(), out_span,
-                                      &block_multipass);
-        ws.multipass.merge(block_multipass);
-      } else {
-        core::resolve_block(tokens->sequences, tokens->literals.data(),
-                            tokens->literals.size(), out_span, strategy,
-                            &ws.metrics);
-      }
-    }
-
-    if (options.verify_checksums) {
-      check(crc32(ByteSpan(out_span.data(), out_span.size())) == stored_crc,
-            "decompress: block checksum mismatch (corrupt data)");
-    }
+    core::decode_block_at(header, payload_with_crc,
+                          MutableByteSpan(result.data.data() + out_begin, out_len),
+                          strategy, options.verify_checksums, ctx, lane_pool);
   };
 
   // Pick the thread plan (see the header comment).
@@ -133,9 +50,9 @@ DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
     pool = own_pool.get();
   }
 
-  std::vector<WorkerState> workers;
+  std::vector<core::BlockDecodeContext> workers;
   if (pool == nullptr || pool->parallelism() == 1) {
-    // Serial: one worker state, blocks in order.
+    // Serial: one worker context, blocks in order.
     workers.resize(1);
     for (std::size_t b = 0; b < num_blocks; ++b) decompress_one(workers[0], b, nullptr);
   } else if (num_blocks != 1 || header.codec != Codec::kBit) {
@@ -157,10 +74,10 @@ DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
     decompress_one(workers[0], 0, pool);
   }
 
-  for (const WorkerState& ws : workers) {
-    result.metrics.merge(ws.metrics);
-    result.multipass.merge(ws.multipass);
-    result.scratch.merge(ws.scratch.stats);
+  for (const core::BlockDecodeContext& ctx : workers) {
+    result.metrics.merge(ctx.metrics);
+    result.multipass.merge(ctx.multipass);
+    result.scratch.merge(ctx.scratch.stats);
   }
   return result;
 }

@@ -13,7 +13,14 @@
 // paper-to-module map.
 #pragma once
 
-#include "core/compressor.hpp"    // IWYU pragma: export
-#include "core/decompressor.hpp"  // IWYU pragma: export
-#include "core/options.hpp"       // IWYU pragma: export
-#include "core/stream.hpp"        // IWYU pragma: export
+#include "core/compressor.hpp"        // IWYU pragma: export
+#include "core/decompressor.hpp"      // IWYU pragma: export
+#include "core/options.hpp"           // IWYU pragma: export
+#include "core/stream.hpp"            // IWYU pragma: export
+#include "serve/decode_session.hpp"   // IWYU pragma: export
+
+namespace gompresso {
+/// The serve subsystem's streaming session, re-exported for the common
+/// "open a file and read from it" use (see serve/decode_session.hpp).
+using serve::DecodeSession;
+}  // namespace gompresso

@@ -2,16 +2,19 @@
 
 #include <fstream>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <vector>
 
+#include "core/block_decode.hpp"
 #include "core/compressor.hpp"
 #include "core/decompressor.hpp"
+#include "serve/decode_session.hpp"
+#include "util/byte_reader.hpp"
 #include "util/varint.hpp"
 
 namespace gompresso {
 namespace {
-
-constexpr std::uint32_t kStreamMagic = 0x53504D47u;  // "GMPS"
 
 void write_bytes(std::ostream& out, ByteSpan data) {
   out.write(reinterpret_cast<const char*>(data.data()),
@@ -19,18 +22,118 @@ void write_bytes(std::ostream& out, ByteSpan data) {
   check(out.good(), "stream: write failed");
 }
 
-/// Reads one varint directly from a stream (byte at a time).
-std::uint64_t read_varint(std::istream& in) {
-  std::uint64_t v = 0;
-  unsigned shift = 0;
+/// Decode path for seekable inputs: a DecodeSession over the stream gives
+/// the pipelined-prefetch engine, and memory stays bounded by its window
+/// regardless of segment size (the old implementation buffered whole
+/// segments).
+std::uint64_t decompress_stream_session(std::istream& in, std::ostream& out,
+                                        const DecompressOptions& options) {
+  serve::SessionOptions sopt;
+  sopt.num_threads = options.num_threads;
+  sopt.verify_checksums = options.verify_checksums;
+  sopt.auto_strategy = options.auto_strategy;
+  sopt.strategy = options.strategy;
+
+  const std::istream::pos_type base = in.tellg();
+  // The session accepts a GMPS stream or a bare GMPZ container — the
+  // decode front end serves either.
+  serve::DecodeSession session(serve::istream_source(in), sopt);
+
+  Bytes chunk(kStreamCopyChunk);
+  std::uint64_t total = 0;
   while (true) {
-    const int c = in.get();
-    check(c != std::char_traits<char>::eof(), "stream: truncated varint");
-    check(shift < 64, "stream: varint too long");
-    v |= static_cast<std::uint64_t>(c & 0x7F) << shift;
-    if ((c & 0x80) == 0) return v;
-    shift += 7;
+    const std::size_t n = session.read(MutableByteSpan(chunk.data(), chunk.size()));
+    if (n == 0) break;
+    write_bytes(out, ByteSpan(chunk.data(), n));
+    total += n;
   }
+  // Leave the stream where sequential consumption would: just past the
+  // terminator (the session's random-access reads scattered the cursor).
+  in.clear();
+  in.seekg(base + static_cast<std::streamoff>(session.index().compressed_end()));
+  return total;
+}
+
+/// Decode path for non-seekable inputs (pipes): one segment header at a
+/// time through the buffered reader, then batches of blocks decoded in
+/// parallel through the same decode_block_at() the sessions use. Memory
+/// is one pool-sized batch of compressed + decoded blocks — the same
+/// O(parallelism x block) shape as a session window, never a whole
+/// segment.
+std::uint64_t decompress_stream_sequential(std::istream& in, std::ostream& out,
+                                           const DecompressOptions& options) {
+  // buffer_size 1: a pipe cannot seek back, so the reader must consume
+  // byte-exactly — anything after the terminator belongs to the caller
+  // (e.g. a second concatenated stream). Framing varints and headers are
+  // a few hundred bytes per 64 MiB segment; the block payloads, which
+  // are the volume, go through read_exact's direct bulk path.
+  util::IstreamReader reader(in, /*buffer_size=*/1);
+
+  // Same thread-plan selection as decompress(): a pipe narrows the
+  // *input* to one cursor, not the decode itself.
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> own_pool;
+  if (options.num_threads == 0) {
+    pool = &default_pool();
+  } else if (options.num_threads > 1) {
+    own_pool = std::make_unique<ThreadPool>(options.num_threads);
+    pool = own_pool.get();
+  }
+  const std::size_t batch = pool != nullptr ? pool->parallelism() : 1;
+
+  std::vector<core::BlockDecodeContext> ctxs(batch);
+  std::vector<Bytes> comp(batch);
+  std::vector<Bytes> decoded(batch);
+  std::uint64_t total = 0;
+  const auto decode_blocks = [&](const format::FileHeader& header) {
+    const Strategy strategy = core::resolve_strategy(options, header);
+    for (std::size_t b = 0; b < header.num_blocks(); b += batch) {
+      const std::size_t n = std::min(batch, header.num_blocks() - b);
+      for (std::size_t i = 0; i < n; ++i) {
+        comp[i].resize(static_cast<std::size_t>(header.block_compressed_sizes[b + i]));
+        reader.read_exact(MutableByteSpan(comp[i].data(), comp[i].size()));
+        decoded[i].resize(static_cast<std::size_t>(std::min<std::uint64_t>(
+            header.block_size, header.uncompressed_size -
+                                   static_cast<std::uint64_t>(b + i) * header.block_size)));
+      }
+      const auto decode_one = [&](std::size_t worker, std::size_t i) {
+        core::decode_block_at(header, comp[i],
+                              MutableByteSpan(decoded[i].data(), decoded[i].size()),
+                              strategy, options.verify_checksums, ctxs[worker]);
+      };
+      if (n == 1 || pool == nullptr) {
+        for (std::size_t i = 0; i < n; ++i) decode_one(0, i);
+      } else {
+        pool->parallel_for_worker(n, decode_one);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        write_bytes(out, decoded[i]);
+        total += decoded[i].size();
+      }
+    }
+  };
+
+  const std::uint32_t magic = reader.read_u32le();
+  if (magic == format::kMagic) {
+    // A bare GMPZ container (accepted on either path): no framing, so
+    // there is no payload size to validate against — the size list alone
+    // delimits the blocks, and consumption stops exactly after the last.
+    decode_blocks(format::FileHeader::deserialize_body(reader));
+    return total;
+  }
+  check(magic == kStreamMagic, "stream: bad magic");
+  while (true) {
+    const std::uint64_t segment_size = reader.read_varint();
+    if (segment_size == 0) break;  // terminator
+    check(segment_size <= (1ull << 40), "stream: implausible segment size");
+    const std::uint64_t segment_begin = reader.offset();
+    const format::FileHeader header = format::FileHeader::deserialize(reader);
+    const std::uint64_t header_bytes = reader.offset() - segment_begin;
+    check(header_bytes <= segment_size, "stream: segment smaller than its header");
+    header.check_payload(segment_size - header_bytes);
+    decode_blocks(header);
+  }
+  return total;
 }
 
 }  // namespace
@@ -65,27 +168,10 @@ std::uint64_t compress_stream(std::istream& in, std::ostream& out,
 
 std::uint64_t decompress_stream(std::istream& in, std::ostream& out,
                                 const DecompressOptions& options) {
-  Bytes magic(4);
-  in.read(reinterpret_cast<char*>(magic.data()), 4);
-  check(in.gcount() == 4, "stream: truncated magic");
-  std::size_t pos = 0;
-  check(get_u32le(magic, pos) == kStreamMagic, "stream: bad magic");
-
-  std::uint64_t total = 0;
-  while (true) {
-    const std::uint64_t segment_size = read_varint(in);
-    if (segment_size == 0) break;  // terminator
-    check(segment_size <= (1ull << 40), "stream: implausible segment size");
-    Bytes segment(static_cast<std::size_t>(segment_size));
-    in.read(reinterpret_cast<char*>(segment.data()),
-            static_cast<std::streamsize>(segment.size()));
-    check(static_cast<std::uint64_t>(in.gcount()) == segment_size,
-          "stream: truncated segment");
-    const Bytes data = decompress(segment, options).data;
-    write_bytes(out, data);
-    total += data.size();
-  }
-  return total;
+  const bool seekable = in.tellg() != std::istream::pos_type(-1);
+  if (!seekable) in.clear();  // a failed tellg may latch failbit
+  return seekable ? decompress_stream_session(in, out, options)
+                  : decompress_stream_sequential(in, out, options);
 }
 
 std::uint64_t compress_file(const std::string& input_path,

@@ -8,6 +8,14 @@
 // parallelism properties (each segment is a normal block-parallel
 // container).
 //
+// Decompression rides on the serve subsystem: a seekable input gets a
+// DecodeSession (seek index + pipelined block prefetch, see
+// serve/decode_session.hpp), so memory stays bounded by the session
+// window instead of the old whole-segment buffering. Non-seekable inputs
+// (pipes) fall back to byte-exact framing with pool-parallel decode of
+// one batch of blocks at a time — O(parallelism x block) memory. Either
+// path accepts a bare GMPZ container as well as a GMPS stream.
+//
 // Stream layout:
 //   u32le  magic "GMPS"
 //   per segment: varint compressed_size, then the Gompresso container
@@ -25,6 +33,13 @@ namespace gompresso {
 /// Default chunk: large enough to amortise per-segment headers, small
 /// enough to bound memory (§V uses 256 KB blocks; 64 MiB ≈ 256 blocks).
 inline constexpr std::size_t kDefaultChunkSize = 64 * 1024 * 1024;
+
+/// Copy-loop granularity of the streaming decompressor (output side).
+inline constexpr std::size_t kStreamCopyChunk = 1024 * 1024;
+
+/// Stream magic "GMPS" (the container's own magic is format::kMagic).
+/// Shared with serve::SeekIndex, which scans the same framing.
+inline constexpr std::uint32_t kStreamMagic = 0x53504D47u;
 
 /// Compresses `in` to `out` as a Gompresso stream. Returns the number of
 /// uncompressed bytes consumed. Throws gompresso::Error on I/O failure.

@@ -23,32 +23,57 @@ Bytes FileHeader::serialize() const {
 }
 
 FileHeader FileHeader::deserialize(ByteSpan data, std::size_t& pos) {
+  util::SpanReader reader(data.subspan(pos));
+  const FileHeader h = deserialize(reader);
+  pos += static_cast<std::size_t>(reader.offset());
+  return h;
+}
+
+FileHeader FileHeader::deserialize(util::ByteReader& reader) {
+  check(reader.read_u32le() == kMagic, "format: bad magic");
+  return deserialize_body(reader);
+}
+
+FileHeader FileHeader::deserialize_body(util::ByteReader& reader) {
   FileHeader h;
-  check(get_u32le(data, pos) == kMagic, "format: bad magic");
-  check(pos < data.size() && data[pos] == kVersion, "format: unsupported version");
-  ++pos;
-  check(pos + 3 <= data.size(), "format: truncated header");
-  const std::uint8_t codec_byte = data[pos++];
+  check(reader.read_u8() == kVersion, "format: unsupported version");
+  const std::uint8_t codec_byte = reader.read_u8();
   check(codec_byte <= 2, "format: unknown codec");
   h.codec = static_cast<Codec>(codec_byte);
-  h.dependency_elimination = data[pos++] != 0;
-  h.codeword_limit = data[pos++];
+  h.dependency_elimination = reader.read_u8() != 0;
+  h.codeword_limit = reader.read_u8();
   check(h.codeword_limit >= 1 && h.codeword_limit <= 15, "format: bad CWL");
-  h.window_size = static_cast<std::uint32_t>(get_varint(data, pos));
-  h.min_match = static_cast<std::uint32_t>(get_varint(data, pos));
-  h.max_match = static_cast<std::uint32_t>(get_varint(data, pos));
-  h.block_size = static_cast<std::uint32_t>(get_varint(data, pos));
-  h.tokens_per_subblock = static_cast<std::uint32_t>(get_varint(data, pos));
-  h.uncompressed_size = get_varint(data, pos);
-  const std::uint64_t num_blocks = get_varint(data, pos);
+  h.window_size = static_cast<std::uint32_t>(reader.read_varint());
+  h.min_match = static_cast<std::uint32_t>(reader.read_varint());
+  h.max_match = static_cast<std::uint32_t>(reader.read_varint());
+  h.block_size = static_cast<std::uint32_t>(reader.read_varint());
+  h.tokens_per_subblock = static_cast<std::uint32_t>(reader.read_varint());
+  h.uncompressed_size = reader.read_varint();
+  const std::uint64_t num_blocks = reader.read_varint();
   check(num_blocks <= (1ull << 32), "format: implausible block count");
   check(h.block_size > 0, "format: zero block size");
   check(h.tokens_per_subblock > 0, "format: zero tokens per sub-block");
   h.block_compressed_sizes.reserve(static_cast<std::size_t>(num_blocks));
   for (std::uint64_t i = 0; i < num_blocks; ++i) {
-    h.block_compressed_sizes.push_back(get_varint(data, pos));
+    h.block_compressed_sizes.push_back(reader.read_varint());
   }
   return h;
+}
+
+void FileHeader::check_payload(std::uint64_t payload_bytes) const {
+  check(num_blocks() == div_ceil<std::uint64_t>(uncompressed_size, block_size),
+        "format: block count inconsistent with uncompressed size");
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : block_compressed_sizes) {
+    // Incremental bound so an adversarial size list cannot overflow the
+    // accumulator before the comparison.
+    check(s <= payload_bytes - total,
+          "format: compressed payload shorter than the block size list "
+          "(truncated file?)");
+    total += s;
+  }
+  check(total == payload_bytes,
+        "format: compressed payload does not match the block size list");
 }
 
 }  // namespace gompresso::format

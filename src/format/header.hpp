@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/byte_reader.hpp"
 #include "util/common.hpp"
 
 namespace gompresso::format {
@@ -53,6 +54,24 @@ struct FileHeader {
 
   /// Parses a header from the start of `data`; `pos` is advanced past it.
   static FileHeader deserialize(ByteSpan data, std::size_t& pos);
+
+  /// Parses a header from any buffered byte reader (file, stream, or
+  /// serve::ByteSource) — the entry point the seek-index scan uses so a
+  /// multi-gigabyte container never has to be resident to be indexed.
+  static FileHeader deserialize(util::ByteReader& reader);
+
+  /// Parses the header fields after the leading magic, for callers that
+  /// already consumed the magic to dispatch on it (the streaming decoder
+  /// cannot rewind a pipe to re-read it).
+  static FileHeader deserialize_body(util::ByteReader& reader);
+
+  /// Validates the size list against the `payload_bytes` that follow the
+  /// header: the per-block compressed sizes must sum to exactly the
+  /// payload, and the block count must match uncompressed_size /
+  /// block_size. Calling this at parse time turns a truncated or
+  /// corrupt-length file into one clear error instead of a confusing
+  /// per-block failure later. Throws gompresso::Error.
+  void check_payload(std::uint64_t payload_bytes) const;
 };
 
 }  // namespace gompresso::format

@@ -1,0 +1,275 @@
+#include "serve/decode_session.hpp"
+
+#include <cstring>
+
+namespace gompresso::serve {
+
+DecodeSession::DecodeSession(std::unique_ptr<ByteSource> source,
+                             SessionOptions options)
+    : source_(std::move(source)),
+      index_(SeekIndex::build(*source_)),
+      options_(options) {
+  init();
+}
+
+DecodeSession::DecodeSession(std::unique_ptr<ByteSource> source, SeekIndex index,
+                             SessionOptions options)
+    : source_(std::move(source)), index_(std::move(index)), options_(options) {
+  check(index_.source_size() == source_->size(),
+        "serve: seek index does not match the source (rebuild it)");
+  init();
+}
+
+void DecodeSession::init() {
+  // Per-segment strategy, resolved once: a stream may mix DE and non-DE
+  // segments, and an explicit DE request must be validated against every
+  // segment before the first read.
+  DecompressOptions dopt;
+  dopt.auto_strategy = options_.auto_strategy;
+  dopt.strategy = options_.strategy;
+  segment_strategy_.reserve(index_.num_segments());
+  for (std::size_t s = 0; s < index_.num_segments(); ++s) {
+    segment_strategy_.push_back(core::resolve_strategy(dopt, index_.segment_header(s)));
+  }
+
+  if (options_.num_threads == 0) {
+    pool_ = &default_pool();
+  } else if (options_.num_threads > 1) {
+    own_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    pool_ = own_pool_.get();
+  }
+  async_ = pool_ != nullptr && pool_->async();
+  window_ = async_ ? std::max<std::size_t>(1, options_.max_inflight_blocks) : 1;
+  // A window beyond the block count buys nothing and would drag the
+  // cache capacity (clamped up to the window below) along with it.
+  window_ = std::min(window_, std::max<std::size_t>(1, index_.num_blocks()));
+  // The cache must hold at least the prefetch window, or the pipeline
+  // would evict blocks it just decoded before the reader reaches them.
+  cache_capacity_ = std::max(options_.cache_blocks, window_);
+}
+
+DecodeSession::~DecodeSession() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+std::uint64_t DecodeSession::tell() const {
+  std::lock_guard<std::mutex> lock(cursor_mutex_);
+  return cursor_;
+}
+
+void DecodeSession::seek(std::uint64_t offset) {
+  std::lock_guard<std::mutex> lock(cursor_mutex_);
+  cursor_ = offset;
+}
+
+std::size_t DecodeSession::read(MutableByteSpan dst) {
+  // The cursor lock is held across the whole read so concurrent read()
+  // calls deliver disjoint consecutive ranges (never the same bytes
+  // twice). It is distinct from mutex_ — fetch_into takes that one while
+  // blocking on decodes — and is only ever acquired before it.
+  std::lock_guard<std::mutex> lock(cursor_mutex_);
+  const std::size_t n = read_impl(cursor_, dst);
+  cursor_ += n;
+  return n;
+}
+
+std::size_t DecodeSession::read_at(std::uint64_t offset, MutableByteSpan dst) {
+  return read_impl(offset, dst);
+}
+
+Bytes DecodeSession::read_bytes_at(std::uint64_t offset, std::size_t length) {
+  // Clamp before allocating: an untrusted range request must produce a
+  // short read, not a length-capacity allocation attempt.
+  const std::uint64_t total = size();
+  const std::size_t n =
+      offset >= total ? 0
+                      : static_cast<std::size_t>(
+                            std::min<std::uint64_t>(length, total - offset));
+  Bytes out(n);
+  out.resize(read_impl(offset, MutableByteSpan(out.data(), out.size())));
+  return out;
+}
+
+std::size_t DecodeSession::read_impl(std::uint64_t offset, MutableByteSpan dst) {
+  const std::uint64_t total = size();
+  if (offset >= total || dst.empty()) return 0;
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(dst.size(), total - offset));
+  std::size_t done = 0;
+  while (done < n) {
+    const std::uint64_t off = offset + done;
+    const std::size_t b = index_.block_containing(off);
+    const BlockEntry& e = index_.block(b);
+    const std::size_t in_block = static_cast<std::size_t>(off - e.uncomp_offset);
+    const std::size_t take =
+        std::min<std::size_t>(n - done, e.uncomp_size - in_block);
+    fetch_into(b, in_block, take, dst.data() + done);
+    done += take;
+  }
+  return n;
+}
+
+void DecodeSession::schedule_locked(std::uint64_t first,
+                                    std::vector<std::uint64_t>& to_run) {
+  const std::uint64_t end_block = index_.num_blocks();
+  // Subtractive window bound: `first + window_` could wrap for an absurd
+  // max_inflight_blocks (e.g. CLI --inflight -1 wrapping through stoul)
+  // and turn the demanded block's scheduling into a livelock.
+  for (std::uint64_t b = first; b < end_block && b - first < window_; ++b) {
+    if (slots_.find(b) != slots_.end()) continue;
+    // The demanded block is always scheduled; lookahead stops at the
+    // in-flight cap (the pipeline's backpressure).
+    if (b != first && inflight_ >= window_) break;
+    slots_.emplace(b, std::make_shared<Slot>());
+    ++inflight_;
+    to_run.push_back(b);
+  }
+}
+
+void DecodeSession::dispatch(std::unique_lock<std::mutex>& lock,
+                             const std::vector<std::uint64_t>& to_run) {
+  if (to_run.empty()) return;
+  if (async_) {
+    stats_.prefetch_decodes += to_run.size();
+  } else {
+    stats_.demand_decodes += to_run.size();
+  }
+  lock.unlock();
+  for (const std::uint64_t b : to_run) {
+    if (async_) {
+      pool_->submit([this, b] { decode_task(b); });
+    } else {
+      decode_task(b);
+    }
+  }
+  lock.lock();
+}
+
+void DecodeSession::fetch_into(std::uint64_t block, std::size_t begin,
+                               std::size_t len, std::uint8_t* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> to_run;
+  schedule_locked(block, to_run);
+  const bool scheduled_here =
+      !to_run.empty() && to_run.front() == block;
+  dispatch(lock, to_run);
+  bool first_look = true;
+  while (true) {
+    const auto it = slots_.find(block);
+    if (it == slots_.end()) {
+      // Evicted between completion and consumption (possible only under
+      // heavy concurrent random access) — schedule it again.
+      to_run.clear();
+      schedule_locked(block, to_run);
+      dispatch(lock, to_run);
+      first_look = false;
+      continue;
+    }
+    const std::shared_ptr<Slot> slot = it->second;
+    if (slot->state == Slot::State::kReady) {
+      if (first_look && !scheduled_here) ++stats_.cache_hits;
+      // Touch the LRU and copy under the lock: eviction also runs under
+      // it, so the buffer cannot be released mid-copy.
+      lru_.erase(slot->lru_it);
+      lru_.push_front(block);
+      slot->lru_it = lru_.begin();
+      std::memcpy(out, slot->data.data() + begin, len);
+      stats_.bytes_delivered += len;
+      return;
+    }
+    if (slot->state == Slot::State::kFailed) {
+      std::rethrow_exception(slot->error);
+    }
+    ++slot->waiters;
+    ++stats_.decode_waits;
+    ready_cv_.wait(lock, [&] { return slot->state != Slot::State::kScheduled; });
+    --slot->waiters;
+    first_look = false;
+  }
+}
+
+void DecodeSession::decode_task(std::uint64_t block) {
+  std::unique_ptr<core::BlockDecodeContext> ctx;
+  try {
+    const BlockEntry& e = index_.block(static_cast<std::size_t>(block));
+    util::PooledBuffer comp = buffers_.acquire(static_cast<std::size_t>(e.comp_size));
+    source_->read_at(e.comp_offset, comp.span());
+    util::PooledBuffer out = buffers_.acquire(e.uncomp_size);
+    ctx = pop_context();
+    core::decode_block_at(index_.segment_header(e.segment), comp.cspan(), out.span(),
+                          segment_strategy_[e.segment], options_.verify_checksums,
+                          *ctx, /*lane_pool=*/nullptr);
+    push_context(std::move(ctx));
+    comp.reset();  // return the staging buffer before publishing
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = *slots_.at(block);
+    slot.data = std::move(out);
+    slot.state = Slot::State::kReady;
+    --inflight_;
+    ++ready_count_;
+    ++stats_.blocks_decoded;
+    lru_.push_front(block);
+    slot.lru_it = lru_.begin();
+    evict_excess_locked();
+    // Notify while holding the lock: the destructor tears the session
+    // down as soon as inflight_ hits zero, so the cv must not be touched
+    // from the unlocked tail of a task.
+    ready_cv_.notify_all();
+  } catch (...) {
+    if (ctx != nullptr) push_context(std::move(ctx));
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = *slots_.at(block);
+    slot.state = Slot::State::kFailed;
+    slot.error = std::current_exception();
+    --inflight_;
+    ready_cv_.notify_all();
+  }
+}
+
+void DecodeSession::evict_excess_locked() {
+  while (ready_count_ > cache_capacity_) {
+    // Oldest evictable block (no reader waiting on it).
+    auto it = lru_.end();
+    bool evicted = false;
+    while (it != lru_.begin()) {
+      --it;
+      const std::uint64_t victim = *it;
+      if (slots_.at(victim)->waiters == 0) {
+        slots_.erase(victim);
+        lru_.erase(it);
+        --ready_count_;
+        ++stats_.evictions;
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) break;  // every ready block has a waiter — overshoot
+  }
+}
+
+std::unique_ptr<core::BlockDecodeContext> DecodeSession::pop_context() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_contexts_.empty()) return std::make_unique<core::BlockDecodeContext>();
+  auto ctx = std::move(free_contexts_.back());
+  free_contexts_.pop_back();
+  return ctx;
+}
+
+void DecodeSession::push_context(std::unique_ptr<core::BlockDecodeContext> ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_contexts_.push_back(std::move(ctx));
+}
+
+SessionStats DecodeSession::stats() const {
+  SessionStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s = stats_;
+  }
+  s.pool = buffers_.stats();
+  return s;
+}
+
+}  // namespace gompresso::serve

@@ -1,0 +1,165 @@
+// Streaming decode sessions: bounded-memory incremental decompression.
+//
+// A DecodeSession opens a Gompresso container (or GMPS stream) through a
+// ByteSource and serves read()/seek()/read_at() with memory bounded by
+// the decode window and cache — independent of file size:
+//
+//   peak pooled bytes <= (max_inflight_blocks + cache capacity + 1)
+//                        x (block_size + max compressed block size)
+//
+// Internally a SeekIndex maps uncompressed offsets to compressed block
+// extents (built from the header's size list, or loaded from a sidecar),
+// and a pipelined prefetcher keeps a sliding window of max_inflight_blocks
+// decode tasks in flight on the ThreadPool: sequential reads submit the
+// next window of blocks before blocking on the first, so decode overlaps
+// delivery (the rapidgzip pattern). Decoded blocks land in pooled buffers
+// tracked by an LRU cache, so random-access re-reads are cache hits.
+// Backpressure is the in-flight cap itself: no new block is scheduled
+// while max_inflight_blocks decodes are pending, and the pool's bounded
+// task queue backstops even that.
+//
+// Thread safety: read_at() may be called from many threads concurrently
+// (each concurrent reader adds at most one demanded block beyond the
+// window to the bound above). read()/seek()/tell() share one cursor
+// serialized by a dedicated lock held across the whole read, so
+// concurrent read() calls deliver disjoint consecutive ranges; which
+// thread gets which range is whatever order the scheduler picks.
+#pragma once
+
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_decode.hpp"
+#include "serve/byte_source.hpp"
+#include "serve/seek_index.hpp"
+#include "util/buffer_pool.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gompresso::serve {
+
+struct SessionOptions {
+  /// Sliding window of blocks decoded ahead of the reader (including the
+  /// block being read). With spawned pool workers this is the prefetch
+  /// pipeline depth; without them decode happens on the calling thread
+  /// and the window is effectively 1.
+  std::size_t max_inflight_blocks = 4;
+  /// Decoded-block LRU capacity. Rounded up to max_inflight_blocks so
+  /// the prefetch window can never thrash its own output.
+  std::size_t cache_blocks = 8;
+  /// Worker threads for the prefetch pipeline; 0 = shared default pool,
+  /// 1 = decode inline on the calling thread.
+  std::size_t num_threads = 0;
+  bool verify_checksums = true;
+  /// Strategy selection, as in DecompressOptions (auto picks DE for
+  /// DE-compressed segments).
+  bool auto_strategy = true;
+  Strategy strategy = Strategy::kMultiRound;
+};
+
+struct SessionStats {
+  std::uint64_t blocks_decoded = 0;   // decode tasks completed
+  std::uint64_t cache_hits = 0;       // reads served from an already-decoded block
+  std::uint64_t demand_decodes = 0;   // blocks decoded inline on a reader
+  std::uint64_t prefetch_decodes = 0; // blocks decoded by submitted pool tasks
+  std::uint64_t decode_waits = 0;     // reader blocked on an in-flight block
+  std::uint64_t evictions = 0;        // decoded blocks dropped by the LRU
+  std::uint64_t bytes_delivered = 0;
+  util::BufferPool::Stats pool;       // the memory-bound witness (bench_serve)
+};
+
+class DecodeSession {
+ public:
+  /// Opens `source`, scanning it to build the seek index.
+  explicit DecodeSession(std::unique_ptr<ByteSource> source,
+                         SessionOptions options = {});
+
+  /// Opens `source` with a pre-built index (e.g. SeekIndex::load()),
+  /// skipping the scan. Throws if the index does not match the source.
+  DecodeSession(std::unique_ptr<ByteSource> source, SeekIndex index,
+                SessionOptions options = {});
+
+  /// Blocks until every in-flight prefetch task has finished.
+  ~DecodeSession();
+
+  DecodeSession(const DecodeSession&) = delete;
+  DecodeSession& operator=(const DecodeSession&) = delete;
+
+  /// Total uncompressed size.
+  std::uint64_t size() const { return index_.total_uncompressed(); }
+
+  /// Sequential read at the session cursor; advances it. Returns the
+  /// number of bytes produced — short only at end of data, 0 at or past
+  /// the end. Prefetches the upcoming window.
+  std::size_t read(MutableByteSpan dst);
+
+  /// Positional read, cursor untouched; same return convention. Decoded
+  /// blocks stay in the LRU, so re-reads of warm ranges do not decode.
+  std::size_t read_at(std::uint64_t offset, MutableByteSpan dst);
+
+  /// Convenience: positional read returning the bytes (shorter than
+  /// `length` only at end of data).
+  Bytes read_bytes_at(std::uint64_t offset, std::size_t length);
+
+  /// Moves the sequential cursor. Offsets past the end are allowed;
+  /// subsequent read() calls return 0 there.
+  void seek(std::uint64_t offset);
+  std::uint64_t tell() const;
+
+  const SeekIndex& index() const { return index_; }
+  SessionStats stats() const;
+
+ private:
+  struct Slot {
+    enum class State { kScheduled, kReady, kFailed };
+    State state = State::kScheduled;
+    util::PooledBuffer data;            // valid when kReady
+    std::exception_ptr error;           // valid when kFailed (sticky)
+    int waiters = 0;                    // readers blocked on this block
+    std::list<std::uint64_t>::iterator lru_it{};  // valid when kReady
+  };
+
+  void init();
+  std::size_t read_impl(std::uint64_t offset, MutableByteSpan dst);
+  void fetch_into(std::uint64_t block, std::size_t begin, std::size_t len,
+                  std::uint8_t* out);
+  void schedule_locked(std::uint64_t first, std::vector<std::uint64_t>& to_run);
+  void dispatch(std::unique_lock<std::mutex>& lock,
+                const std::vector<std::uint64_t>& to_run);
+  void decode_task(std::uint64_t block);
+  void evict_excess_locked();
+  std::unique_ptr<core::BlockDecodeContext> pop_context();
+  void push_context(std::unique_ptr<core::BlockDecodeContext> ctx);
+
+  std::unique_ptr<ByteSource> source_;
+  SeekIndex index_;
+  SessionOptions options_;
+  std::vector<Strategy> segment_strategy_;
+
+  std::unique_ptr<ThreadPool> own_pool_;
+  ThreadPool* pool_ = nullptr;  // nullptr = always decode inline
+  bool async_ = false;          // pool_ has spawned workers
+  std::size_t window_ = 1;      // effective max_inflight_blocks
+  std::size_t cache_capacity_ = 0;
+
+  util::BufferPool buffers_;
+
+  /// Serializes the sequential cursor (read/seek/tell). Always acquired
+  /// before mutex_, never while holding it.
+  mutable std::mutex cursor_mutex_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> slots_;
+  std::list<std::uint64_t> lru_;  // ready blocks, most recent first
+  std::size_t inflight_ = 0;      // slots in kScheduled state
+  std::size_t ready_count_ = 0;   // slots in kReady state
+  std::uint64_t cursor_ = 0;
+  SessionStats stats_;
+  std::vector<std::unique_ptr<core::BlockDecodeContext>> free_contexts_;
+};
+
+}  // namespace gompresso::serve

@@ -1,0 +1,96 @@
+// A bounded multi-producer / multi-consumer queue with blocking
+// backpressure, used as the ThreadPool's task-submission channel (the
+// serve prefetcher's decode tasks flow through it). push() blocks while
+// the queue is at capacity, which is what bounds a producer that issues
+// work faster than the workers drain it.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "util/common.hpp"
+
+namespace gompresso::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    check(capacity > 0, "bounded_queue: zero capacity");
+  }
+
+  /// Blocks until there is room (backpressure), then enqueues `v`.
+  /// Returns false — dropping `v` — when the queue has been closed.
+  bool push(T v) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and
+  /// drained; returns false in the latter case.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; false when the queue is currently empty.
+  bool try_pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wakes all blocked producers and consumers; subsequent push() calls
+  /// are rejected. Items already queued can still be popped.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace gompresso::util

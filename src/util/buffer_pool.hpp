@@ -1,0 +1,147 @@
+// Pooled byte buffers with outstanding-memory accounting.
+//
+// The serve subsystem's memory bound rests on this pool: every decoded
+// block and every compressed-extent staging buffer a DecodeSession uses
+// is leased from one BufferPool, so the pool's peak-outstanding counters
+// are a machine-checkable witness that session memory is
+// O(max_inflight_blocks x block_size) no matter how large the file is.
+// bench_serve asserts exactly that.
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gompresso::util {
+
+class BufferPool;
+
+/// RAII lease of a pool buffer; returns it to the pool on destruction.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)), bytes_(std::move(other.bytes_)) {}
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = std::exchange(other.pool_, nullptr);
+      bytes_ = std::move(other.bytes_);
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer() { reset(); }
+
+  inline void reset();
+
+  bool valid() const { return pool_ != nullptr; }
+  std::uint8_t* data() { return bytes_.data(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::size_t size() const { return bytes_.size(); }
+  MutableByteSpan span() { return {bytes_.data(), bytes_.size()}; }
+  ByteSpan cspan() const { return {bytes_.data(), bytes_.size()}; }
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(BufferPool* pool, Bytes bytes) : pool_(pool), bytes_(std::move(bytes)) {}
+
+  BufferPool* pool_ = nullptr;
+  Bytes bytes_;
+};
+
+/// Thread-safe free-list of byte buffers. acquire() prefers the largest
+/// free buffer (capacities converge to the block size after a few leases,
+/// making the steady state allocation-free), release() returns capacity
+/// to the list.
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;          // total leases handed out
+    std::uint64_t allocations = 0;       // leases that had to grow capacity
+    std::uint64_t reuses = 0;            // leases served fully from the free list
+    std::size_t outstanding = 0;         // buffers currently leased
+    std::size_t peak_outstanding = 0;
+    std::uint64_t outstanding_bytes = 0;  // capacity currently leased
+    std::uint64_t peak_outstanding_bytes = 0;
+  };
+
+  /// Leases a buffer resized to exactly `size` bytes (contents undefined).
+  PooledBuffer acquire(std::size_t size) {
+    Bytes buf;
+    bool reused_capacity = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        // Prefer the smallest free buffer that already fits; otherwise
+        // grow the largest one (keeps capacities converging instead of
+        // re-growing a small buffer while a large one idles).
+        std::size_t best = free_.size();
+        std::size_t largest = 0;
+        for (std::size_t i = 0; i < free_.size(); ++i) {
+          const std::size_t cap = free_[i].capacity();
+          if (cap >= size && (best == free_.size() || cap < free_[best].capacity())) {
+            best = i;
+          }
+          if (free_[i].capacity() >= free_[largest].capacity()) largest = i;
+        }
+        const std::size_t pick = best != free_.size() ? best : largest;
+        buf = std::move(free_[pick]);
+        free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(pick));
+        reused_capacity = buf.capacity() >= size;
+      }
+    }
+    buf.resize(size);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.acquires;
+    if (reused_capacity) {
+      ++stats_.reuses;
+    } else {
+      ++stats_.allocations;
+    }
+    ++stats_.outstanding;
+    stats_.peak_outstanding = std::max(stats_.peak_outstanding, stats_.outstanding);
+    stats_.outstanding_bytes += buf.capacity();
+    stats_.peak_outstanding_bytes =
+        std::max(stats_.peak_outstanding_bytes, stats_.outstanding_bytes);
+    return PooledBuffer(this, std::move(buf));
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  /// Drops all free-list capacity (leased buffers are unaffected).
+  void trim() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.clear();
+    free_.shrink_to_fit();
+  }
+
+ private:
+  friend class PooledBuffer;
+
+  void release(Bytes&& buf) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --stats_.outstanding;
+    stats_.outstanding_bytes -= buf.capacity();
+    free_.push_back(std::move(buf));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<Bytes> free_;
+  Stats stats_;
+};
+
+inline void PooledBuffer::reset() {
+  if (pool_ != nullptr) {
+    std::exchange(pool_, nullptr)->release(std::move(bytes_));
+    bytes_ = Bytes();
+  }
+}
+
+}  // namespace gompresso::util

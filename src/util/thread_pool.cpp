@@ -18,7 +18,12 @@ thread_local std::size_t tls_worker_index = 0;
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+// Task-queue capacity. Producers (the serve prefetcher) bound themselves
+// far below this with their in-flight windows; the queue bound is the
+// backstop that keeps a runaway producer from accumulating closures.
+constexpr std::size_t kTaskQueueCapacity = 1024;
+
+ThreadPool::ThreadPool(std::size_t num_threads) : tasks_(kTaskQueueCapacity) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
@@ -38,6 +43,10 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+  // Tasks still queued when the workers shut down run here so no waiter
+  // on a task's side effects can hang (see the submit() contract).
+  std::function<void()> task;
+  while (tasks_.try_pop(task)) task();
 }
 
 void ThreadPool::run_job(Job& job, std::size_t worker_index) const {
@@ -68,23 +77,49 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      // Waking for a submitted task relies on submit() notifying cv_
+      // under mutex_ after the push: either this worker is already
+      // waiting (and receives the notify) or it re-evaluates the
+      // predicate on entry and sees the non-empty queue.
       cv_.wait(lock, [&] {
-        return stop_ || (current_ != nullptr && generation_ != served_generation);
+        return stop_ || (current_ != nullptr && generation_ != served_generation) ||
+               !tasks_.empty();
       });
-      if (stop_) return;
-      served_generation = generation_;
-      job = current_;  // shared ownership keeps the job alive past the caller
+      if (stop_) return;  // still-queued tasks drain in the destructor
+      if (current_ != nullptr && generation_ != served_generation) {
+        served_generation = generation_;
+        job = current_;  // shared ownership keeps the job alive past the caller
+      }
     }
-    run_job(*job, worker_index);
-    // Bracket the notify with the mutex: the caller evaluates the done
-    // predicate under mutex_, so acquiring it here ensures the caller is
-    // either not yet waiting (and will see the final done count) or
-    // already blocked in wait (and receives this notification) — without
-    // the bracket the last notify could fire in the gap between the
-    // caller's predicate check and its block, hanging parallel_for.
-    { std::lock_guard<std::mutex> lock(mutex_); }
-    done_cv_.notify_all();
+    if (job != nullptr) {
+      run_job(*job, worker_index);
+      // Bracket the notify with the mutex: the caller evaluates the done
+      // predicate under mutex_, so acquiring it here ensures the caller
+      // is either not yet waiting (and will see the final done count) or
+      // already blocked in wait (and receives this notification) —
+      // without the bracket the last notify could fire in the gap
+      // between the caller's predicate check and its block, hanging
+      // parallel_for.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      done_cv_.notify_all();
+    }
+    std::function<void()> task;
+    while (tasks_.try_pop(task)) task();
   }
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  if (threads_.empty()) {
+    fn();  // no workers to hand the task to — degrade to synchronous
+    return;
+  }
+  tasks_.push(std::move(fn));  // blocks at capacity (backpressure)
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+  }
+  // One task needs one worker; notify_all here would thundering-herd
+  // every idle worker per submitted block on the serve hot path.
+  cv_.notify_one();
 }
 
 void ThreadPool::run(std::size_t count,

@@ -20,6 +20,11 @@
 //     worker with its enclosing worker index (no deadlock, no
 //     oversubscription); on a different pool it dispatches normally,
 //     since that pool's workers and worker-index space are independent.
+//   * submit() enqueues a detached task on a bounded queue; idle workers
+//     interleave tasks with parallel_for jobs. This is what the serve
+//     subsystem's pipelined prefetcher rides on: each in-flight block is
+//     one submitted decode task, and the queue bound is the backstop
+//     behind the session's own in-flight window.
 #pragma once
 
 #include <atomic>
@@ -31,6 +36,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/bounded_queue.hpp"
 
 namespace gompresso {
 
@@ -74,6 +81,22 @@ class ThreadPool {
       std::size_t count, std::size_t grain,
       const std::function<void(std::size_t begin, std::size_t end)>& fn);
 
+  /// Enqueues `fn` for asynchronous execution by an idle worker. Blocks
+  /// (backpressure) while the bounded task queue is full. With no
+  /// spawned workers (parallelism() == 1) the task runs synchronously on
+  /// the caller instead. `fn` must not throw — an escaping exception
+  /// terminates the process, exactly as it would from a raw std::thread;
+  /// callers that need failure reporting capture an exception_ptr inside
+  /// the task (see serve::DecodeSession). A task must not block on the
+  /// completion of a later-submitted task (the queue is FIFO and workers
+  /// are finite), and all submitted tasks must complete or be drained
+  /// before the pool is destroyed; the destructor runs any still-queued
+  /// tasks on the destructing thread.
+  void submit(std::function<void()> fn);
+
+  /// True when submit() executes asynchronously (spawned workers exist).
+  bool async() const { return !threads_.empty(); }
+
  private:
   struct Job {
     const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
@@ -95,6 +118,7 @@ class ThreadPool {
   std::shared_ptr<Job> current_;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  util::BoundedQueue<std::function<void()>> tasks_;
 };
 
 /// Singleton pool shared by the library's parallel codecs. Sized to the

@@ -92,5 +92,48 @@ TEST(FileHeaderTest, EmptyBlockListAllowed) {
   EXPECT_EQ(g.num_blocks(), 0u);
 }
 
+TEST(FileHeaderTest, CheckPayloadAcceptsExactTotals) {
+  FileHeader h = sample_header();
+  h.block_size = 1000;
+  h.uncompressed_size = 3500;  // 4 blocks, matching the 4 size entries
+  EXPECT_NO_THROW(h.check_payload(1000 + 2000 + 30000 + 5));
+}
+
+TEST(FileHeaderTest, CheckPayloadRejectsShortAndLongPayloads) {
+  FileHeader h = sample_header();
+  h.block_size = 1000;
+  h.uncompressed_size = 3500;
+  const std::uint64_t total = 1000 + 2000 + 30000 + 5;
+  EXPECT_THROW(h.check_payload(total - 1), Error);  // truncated file
+  EXPECT_THROW(h.check_payload(total + 1), Error);  // trailing garbage
+  EXPECT_THROW(h.check_payload(0), Error);
+}
+
+TEST(FileHeaderTest, CheckPayloadRejectsBlockCountMismatch) {
+  FileHeader h = sample_header();
+  h.block_size = 1000;
+  h.uncompressed_size = 4500;  // needs 5 blocks, size list has 4
+  EXPECT_THROW(h.check_payload(1000 + 2000 + 30000 + 5), Error);
+}
+
+TEST(FileHeaderTest, CheckPayloadSurvivesAdversarialSizes) {
+  // Sizes crafted so a naive sum would wrap around 2^64 and "match".
+  FileHeader h = sample_header();
+  h.block_size = 1000;
+  h.uncompressed_size = 3500;
+  h.block_compressed_sizes = {0xFFFFFFFFFFFFFFFFull, 2, 30000, 5};
+  EXPECT_THROW(h.check_payload(30006), Error);
+}
+
+TEST(FileHeaderTest, ReaderDeserializeMatchesSpanDeserialize) {
+  const FileHeader h = sample_header();
+  const Bytes buf = h.serialize();
+  util::SpanReader reader(buf);
+  const FileHeader g = FileHeader::deserialize(reader);
+  EXPECT_EQ(reader.offset(), buf.size());
+  EXPECT_EQ(g.block_compressed_sizes, h.block_compressed_sizes);
+  EXPECT_EQ(g.uncompressed_size, h.uncompressed_size);
+}
+
 }  // namespace
 }  // namespace gompresso::format

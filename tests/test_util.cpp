@@ -4,7 +4,12 @@
 
 #include <atomic>
 #include <set>
+#include <sstream>
+#include <thread>
 
+#include "util/bounded_queue.hpp"
+#include "util/buffer_pool.hpp"
+#include "util/byte_reader.hpp"
 #include "util/common.hpp"
 #include "util/crc32.hpp"
 #include "util/rng.hpp"
@@ -253,6 +258,167 @@ TEST(CommonHelpers, CountLeadingZeros) {
 TEST(CommonHelpers, CheckThrows) {
   EXPECT_NO_THROW(check(true, "ok"));
   EXPECT_THROW(check(false, "bad"), Error);
+}
+
+TEST(ThreadPoolSubmit, TasksRunAndComplete) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { ++done; });
+    }
+  }  // destruction joins workers and drains whatever they did not reach
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolSubmit, SynchronousWithoutWorkers) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.async());
+  int hits = 0;
+  pool.submit([&] { ++hits; });
+  EXPECT_EQ(hits, 1);  // ran inline, already visible
+}
+
+TEST(ThreadPoolSubmit, InterleavesWithParallelFor) {
+  std::atomic<int> task_hits{0};
+  std::atomic<int> for_hits{0};
+  {
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < 10; ++i) pool.submit([&] { ++task_hits; });
+      pool.parallel_for(20, [&](std::size_t) { ++for_hits; });
+    }
+  }
+  EXPECT_EQ(task_hits.load(), 50);
+  EXPECT_EQ(for_hits.load(), 100);
+}
+
+TEST(BoundedQueue, FifoOrderAndBackpressure) {
+  util::BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 4u);
+  // A full queue blocks push; a consumer thread unblocks it.
+  std::thread consumer([&] {
+    int v;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_TRUE(q.pop(v));
+      EXPECT_EQ(v, i);
+    }
+  });
+  EXPECT_TRUE(q.push(4));  // may block until the consumer drains one
+  consumer.join();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, CloseReleasesProducersAndConsumers) {
+  util::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  q.close();
+  EXPECT_FALSE(q.push(2));  // rejected after close
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));  // queued items still drain
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(q.pop(v));  // then pop reports closed
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers) {
+  util::BoundedQueue<int> q(8);
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < 50; ++i) q.push(p * 50 + i);
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      int v;
+      while (popped.load() < 150 && q.pop(v)) {
+        sum += v;
+        if (popped.fetch_add(1) + 1 == 150) q.close();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(popped.load(), 150);
+  EXPECT_EQ(sum.load(), 150L * 149 / 2);
+}
+
+TEST(BufferPool, ReusesCapacityAndCountsPeaks) {
+  util::BufferPool pool;
+  {
+    util::PooledBuffer a = pool.acquire(1000);
+    util::PooledBuffer b = pool.acquire(2000);
+    EXPECT_EQ(a.size(), 1000u);
+    EXPECT_EQ(b.size(), 2000u);
+    const auto st = pool.stats();
+    EXPECT_EQ(st.outstanding, 2u);
+    EXPECT_EQ(st.allocations, 2u);
+    EXPECT_GE(st.peak_outstanding_bytes, 3000u);
+  }
+  // Both buffers returned; re-acquiring within capacity allocates nothing.
+  for (int i = 0; i < 10; ++i) {
+    util::PooledBuffer c = pool.acquire(1500);
+    EXPECT_EQ(c.size(), 1500u);
+  }
+  const auto st = pool.stats();
+  EXPECT_EQ(st.outstanding, 0u);
+  EXPECT_EQ(st.allocations, 2u);
+  EXPECT_EQ(st.reuses, 10u);
+  EXPECT_EQ(st.peak_outstanding, 2u);
+}
+
+TEST(BufferPool, MoveTransfersOwnership) {
+  util::BufferPool pool;
+  util::PooledBuffer a = pool.acquire(100);
+  util::PooledBuffer b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+  b.reset();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(ByteReader, SpanReaderPrimitives) {
+  Bytes data;
+  put_u32le(data, 0xDEADBEEFu);
+  put_varint(data, 0);
+  put_varint(data, 300);
+  put_varint(data, 0xFFFFFFFFFFFFFFFFull);
+  data.push_back(0x42);
+  util::SpanReader r{ByteSpan(data)};
+  EXPECT_EQ(r.read_u32le(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_varint(), 0u);
+  EXPECT_EQ(r.read_varint(), 300u);
+  EXPECT_EQ(r.read_varint(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(r.read_u8(), 0x42);
+  EXPECT_EQ(r.offset(), data.size());
+  EXPECT_TRUE(r.at_end());
+  EXPECT_THROW(r.read_u8(), Error);
+}
+
+TEST(ByteReader, IstreamReaderMatchesSpanReaderAndSkips) {
+  Bytes data(100000);
+  Rng rng(3);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+  std::istringstream in(std::string(data.begin(), data.end()));
+  util::IstreamReader r(in, /*buffer_size=*/257);  // awkward size on purpose
+  Bytes head(1000);
+  r.read_exact(MutableByteSpan(head.data(), head.size()));
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), data.begin()));
+  r.skip(50000);
+  EXPECT_EQ(r.offset(), 51000u);
+  EXPECT_EQ(r.read_u8(), data[51000]);
+  r.skip(data.size() - 51001);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, TruncatedVarintThrows) {
+  const Bytes data = {0x80, 0x80};  // continuation bits with no terminator
+  util::SpanReader r{ByteSpan(data)};
+  EXPECT_THROW(r.read_varint(), Error);
 }
 
 }  // namespace
