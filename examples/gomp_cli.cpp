@@ -25,10 +25,13 @@
 //   --index <path>    load the seek index from a sidecar (see gomp index)
 // cat/range accept GMPZ containers and GMPS streams alike; with no
 // output path the bytes go to stdout and the stats to stderr.
+#include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,6 +76,40 @@ int usage() {
   return 2;
 }
 
+/// Strict unsigned parser: std::stoul-family functions accept negative
+/// input by wrapping (no exception), so "--threads -1" would otherwise
+/// request ~2^64 threads and ThreadPool would try to spawn them. Rejects
+/// sign characters, trailing junk, and anything above `max_value`.
+bool parse_u64(const std::string& s, std::uint64_t max_value, std::uint64_t& out) {
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) return false;
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(s, &pos);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (pos != s.size() || v > max_value) return false;
+  out = v;
+  return true;
+}
+
+/// parse_u64 for memory-sized counts: additionally rejects values that
+/// would not fit std::size_t (32-bit targets).
+bool parse_count(const std::string& s, std::uint64_t max_value,
+                 std::size_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, max_value, v) ||
+      v > std::numeric_limits<std::size_t>::max()) {
+    return false;
+  }
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+constexpr std::uint64_t kMaxSessionThreads = 1024;
+constexpr std::uint64_t kMaxSessionBlocks = 1u << 20;  // window / cache caps
+
 /// Parses the session flags shared by cat/range; leaves positional
 /// arguments in `positional`. Returns false on a malformed flag.
 bool parse_session_args(int argc, char** argv, serve::SessionOptions& opt,
@@ -81,11 +118,11 @@ bool parse_session_args(int argc, char** argv, serve::SessionOptions& opt,
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
-      opt.num_threads = std::stoul(argv[++i]);
+      if (!parse_count(argv[++i], kMaxSessionThreads, opt.num_threads)) return false;
     } else if (arg == "--inflight" && i + 1 < argc) {
-      opt.max_inflight_blocks = std::stoul(argv[++i]);
+      if (!parse_count(argv[++i], kMaxSessionBlocks, opt.max_inflight_blocks)) return false;
     } else if (arg == "--cache" && i + 1 < argc) {
-      opt.cache_blocks = std::stoul(argv[++i]);
+      if (!parse_count(argv[++i], kMaxSessionBlocks, opt.cache_blocks)) return false;
     } else if (arg == "--index" && i + 1 < argc) {
       index_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
@@ -158,8 +195,16 @@ int cmd_range(int argc, char** argv) {
   std::vector<std::string> positional;
   if (!parse_session_args(argc, argv, opt, index_path, positional)) return usage();
   if (positional.size() < 3 || positional.size() > 4) return usage();
-  const std::uint64_t offset = std::stoull(positional[1]);
-  const std::size_t length = std::stoull(positional[2]);
+  // Strict parsing for the positional numbers too: stoull wraps "-1"
+  // into 2^64-1, which read_bytes_at clamps to an empty read — the typo
+  // would be silently masked instead of rejected. The offset is a file
+  // position, not a memory-sized count, so it stays 64-bit everywhere.
+  std::uint64_t offset = 0;
+  std::size_t length = 0;
+  if (!parse_u64(positional[1], UINT64_MAX, offset) ||
+      !parse_count(positional[2], UINT64_MAX, length)) {
+    return usage();
+  }
 
   const auto session = open_session(positional[0], index_path, opt);
   Stopwatch timer;
@@ -193,6 +238,9 @@ int cmd_index(int argc, char** argv) {
 int cmd_compress(int argc, char** argv) {
   CompressOptions opt;
   std::string input_path, output_path;
+  // Same strict parsing as the session flags: stoul would wrap "--block
+  // -1" into a ~4 GiB block size instead of rejecting it.
+  std::size_t v = 0;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--byte") {
@@ -202,13 +250,17 @@ int cmd_compress(int argc, char** argv) {
     } else if (arg == "--no-de") {
       opt.dependency_elimination = false;
     } else if (arg == "--block" && i + 1 < argc) {
-      opt.block_size = static_cast<std::uint32_t>(std::stoul(argv[++i])) * 1024;
+      if (!parse_count(argv[++i], 1u << 20, v) || v == 0) return usage();  // <= 1 GiB
+      opt.block_size = static_cast<std::uint32_t>(v) * 1024;
     } else if (arg == "--window" && i + 1 < argc) {
-      opt.window_size = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      if (!parse_count(argv[++i], 1u << 30, v) || v == 0) return usage();
+      opt.window_size = static_cast<std::uint32_t>(v);
     } else if (arg == "--subblock" && i + 1 < argc) {
-      opt.tokens_per_subblock = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      if (!parse_count(argv[++i], 1u << 20, v) || v == 0) return usage();
+      opt.tokens_per_subblock = static_cast<std::uint32_t>(v);
     } else if (arg == "--effort" && i + 1 < argc) {
-      opt.match_effort = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      if (!parse_count(argv[++i], 1u << 20, v)) return usage();
+      opt.match_effort = static_cast<std::uint32_t>(v);
     } else if (input_path.empty()) {
       input_path = arg;
     } else if (output_path.empty()) {
@@ -311,8 +363,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gomp: %s\n", e.what());
     return 1;
   } catch (const std::exception& e) {
-    // std::stoul and friends throw std::invalid_argument/out_of_range on
-    // malformed numeric flags; fail with a message, not std::terminate.
+    // Flag parsing rejects malformed numbers via parse_u64/parse_count
+    // (no exceptions); this backstop covers everything else the standard
+    // library can throw (bad_alloc, filesystem errors) so a failure
+    // prints a message instead of reaching std::terminate.
     std::fprintf(stderr, "gomp: invalid argument (%s)\n", e.what());
     return usage();
   }

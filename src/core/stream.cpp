@@ -86,15 +86,40 @@ std::uint64_t decompress_stream_sequential(std::istream& in, std::ostream& out,
   std::vector<Bytes> decoded(batch);
   std::uint64_t total = 0;
   const auto decode_blocks = [&](const format::FileHeader& header) {
+    // A pipe has no payload length to validate the header's sizes
+    // against (the seekable path bounds them by the real file size), and
+    // the decode buffer is allocated before any payload arrives — so cap
+    // the block size absolutely; 1 GiB is far beyond any plausible
+    // configuration (the CLI caps --block at the same bound).
+    check(header.block_size <= (1u << 30), "stream: implausible block size");
     const Strategy strategy = core::resolve_strategy(options, header);
     for (std::size_t b = 0; b < header.num_blocks(); b += batch) {
       const std::size_t n = std::min(batch, header.num_blocks() - b);
       for (std::size_t i = 0; i < n; ++i) {
-        comp[i].resize(static_cast<std::size_t>(header.block_compressed_sizes[b + i]));
-        reader.read_exact(MutableByteSpan(comp[i].data(), comp[i].size()));
-        decoded[i].resize(static_cast<std::size_t>(std::min<std::uint64_t>(
+        const std::uint64_t comp_size = header.block_compressed_sizes[b + i];
+        const std::uint64_t uncomp_len = std::min<std::uint64_t>(
             header.block_size, header.uncompressed_size -
-                                   static_cast<std::uint64_t>(b + i) * header.block_size)));
+                                   static_cast<std::uint64_t>(b + i) * header.block_size);
+        // Bound each block's compressed size by what any codec here
+        // could plausibly emit — the worst case is well under 16x even
+        // with degenerate sub-block settings — so a crafted huge size
+        // fails with a clean Error, not std::length_error.
+        check(comp_size <= 16 * uncomp_len + 65536,
+              "stream: implausible compressed block size");
+        // Grow the staging buffer while reading rather than trusting
+        // comp_size up front: allocation never outruns bytes actually
+        // received, so a lying size fails at EOF ("truncated input")
+        // with memory proportional to what was sent, not claimed.
+        comp[i].clear();
+        std::uint64_t filled = 0;
+        while (filled < comp_size) {
+          const std::size_t step = static_cast<std::size_t>(
+              std::min<std::uint64_t>(comp_size - filled, 16u << 20));
+          comp[i].resize(static_cast<std::size_t>(filled) + step);
+          reader.read_exact(MutableByteSpan(comp[i].data() + filled, step));
+          filled += step;
+        }
+        decoded[i].resize(static_cast<std::size_t>(uncomp_len));
       }
       const auto decode_one = [&](std::size_t worker, std::size_t i) {
         core::decode_block_at(header, comp[i],
@@ -118,7 +143,11 @@ std::uint64_t decompress_stream_sequential(std::istream& in, std::ostream& out,
     // A bare GMPZ container (accepted on either path): no framing, so
     // there is no payload size to validate against — the size list alone
     // delimits the blocks, and consumption stops exactly after the last.
-    decode_blocks(format::FileHeader::deserialize_body(reader));
+    // The block-count invariant still must hold, or a corrupt header
+    // claiming fewer blocks silently truncates the output.
+    const format::FileHeader header = format::FileHeader::deserialize_body(reader);
+    header.check_block_count();
+    decode_blocks(header);
     return total;
   }
   check(magic == kStreamMagic, "stream: bad magic");

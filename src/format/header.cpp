@@ -1,5 +1,7 @@
 #include "format/header.hpp"
 
+#include <algorithm>
+
 #include "util/varint.hpp"
 
 namespace gompresso::format {
@@ -53,16 +55,24 @@ FileHeader FileHeader::deserialize_body(util::ByteReader& reader) {
   check(num_blocks <= (1ull << 32), "format: implausible block count");
   check(h.block_size > 0, "format: zero block size");
   check(h.tokens_per_subblock > 0, "format: zero tokens per sub-block");
-  h.block_compressed_sizes.reserve(static_cast<std::size_t>(num_blocks));
+  // The reserve is only a hint — bound it so a crafted num_blocks just
+  // under the plausibility cap cannot attempt a 32 GiB allocation from a
+  // ~15-byte input before the per-entry reads fail on truncation.
+  h.block_compressed_sizes.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(num_blocks, 1u << 16)));
   for (std::uint64_t i = 0; i < num_blocks; ++i) {
     h.block_compressed_sizes.push_back(reader.read_varint());
   }
   return h;
 }
 
-void FileHeader::check_payload(std::uint64_t payload_bytes) const {
+void FileHeader::check_block_count() const {
   check(num_blocks() == div_ceil<std::uint64_t>(uncompressed_size, block_size),
         "format: block count inconsistent with uncompressed size");
+}
+
+void FileHeader::check_payload(std::uint64_t payload_bytes) const {
+  check_block_count();
   std::uint64_t total = 0;
   for (const std::uint64_t s : block_compressed_sizes) {
     // Incremental bound so an adversarial size list cannot overflow the

@@ -65,12 +65,21 @@ struct FileHeader {
   /// cannot rewind a pipe to re-read it).
   static FileHeader deserialize_body(util::ByteReader& reader);
 
+  /// Validates the block count against uncompressed_size / block_size.
+  /// Every consumer that walks the block table assumes the blocks tile
+  /// [0, uncompressed_size) without gaps; callers that cannot run the
+  /// full check_payload (no payload length in hand, e.g. a seek-index
+  /// sidecar or a bare container on a pipe) must still run this, or a
+  /// crafted header yields a table with gaps/overlaps and downstream
+  /// offset arithmetic wraps. Throws gompresso::Error.
+  void check_block_count() const;
+
   /// Validates the size list against the `payload_bytes` that follow the
   /// header: the per-block compressed sizes must sum to exactly the
   /// payload, and the block count must match uncompressed_size /
-  /// block_size. Calling this at parse time turns a truncated or
-  /// corrupt-length file into one clear error instead of a confusing
-  /// per-block failure later. Throws gompresso::Error.
+  /// block_size (check_block_count). Calling this at parse time turns a
+  /// truncated or corrupt-length file into one clear error instead of a
+  /// confusing per-block failure later. Throws gompresso::Error.
   void check_payload(std::uint64_t payload_bytes) const;
 };
 

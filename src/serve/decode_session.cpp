@@ -128,13 +128,16 @@ void DecodeSession::schedule_locked(std::uint64_t first,
 }
 
 void DecodeSession::dispatch(std::unique_lock<std::mutex>& lock,
-                             const std::vector<std::uint64_t>& to_run) {
+                             const std::vector<std::uint64_t>& to_run,
+                             std::uint64_t demanded) {
   if (to_run.empty()) return;
-  if (async_) {
-    stats_.prefetch_decodes += to_run.size();
-  } else {
-    stats_.demand_decodes += to_run.size();
-  }
+  // The demanded block is demand-driven work even when a pool worker
+  // runs it (the reader is about to block on it); only the lookahead
+  // beyond it is prefetch. schedule_locked puts the demanded block
+  // first when it schedules it at all.
+  const std::size_t demand = to_run.front() == demanded ? 1 : 0;
+  stats_.demand_decodes += demand;
+  stats_.prefetch_decodes += to_run.size() - demand;
   lock.unlock();
   for (const std::uint64_t b : to_run) {
     if (async_) {
@@ -153,7 +156,7 @@ void DecodeSession::fetch_into(std::uint64_t block, std::size_t begin,
   schedule_locked(block, to_run);
   const bool scheduled_here =
       !to_run.empty() && to_run.front() == block;
-  dispatch(lock, to_run);
+  dispatch(lock, to_run, block);
   bool first_look = true;
   while (true) {
     const auto it = slots_.find(block);
@@ -162,24 +165,65 @@ void DecodeSession::fetch_into(std::uint64_t block, std::size_t begin,
       // heavy concurrent random access) — schedule it again.
       to_run.clear();
       schedule_locked(block, to_run);
-      dispatch(lock, to_run);
+      dispatch(lock, to_run, block);
       first_look = false;
       continue;
     }
     const std::shared_ptr<Slot> slot = it->second;
     if (slot->state == Slot::State::kReady) {
       if (first_look && !scheduled_here) ++stats_.cache_hits;
-      // Touch the LRU and copy under the lock: eviction also runs under
-      // it, so the buffer cannot be released mid-copy.
       lru_.erase(slot->lru_it);
       lru_.push_front(block);
       slot->lru_it = lru_.begin();
-      std::memcpy(out, slot->data.data() + begin, len);
       stats_.bytes_delivered += len;
+      // Pin the slot and copy outside the lock: a block-sized memcpy
+      // under mutex_ would serialize concurrent readers and stall every
+      // decode task trying to publish. Eviction skips slots with
+      // waiters != 0, so the buffer cannot be released mid-copy.
+      ++slot->waiters;
+      lock.unlock();
+      std::memcpy(out, slot->data.data() + begin, len);
+      lock.lock();
+      --slot->waiters;
       return;
     }
     if (slot->state == Slot::State::kFailed) {
-      std::rethrow_exception(slot->error);
+      // Failure is delivered, not cached: drop the slot (once no other
+      // reader is still draining it) so a later read retries the block —
+      // a transient I/O error must not poison the session for its
+      // lifetime, and failed slots must not accumulate. A stale failure
+      // from a lookahead decode this reader never observed (neither
+      // scheduled nor waited on) gets one transparent retry first, so a
+      // fault that already cleared does not abort an unrelated read;
+      // the retry's own failure is delivered (first_look is false then),
+      // which bounds it to one attempt.
+      if (first_look && !scheduled_here) {
+        if (slot->waiters != 0) {
+          // Other readers are still draining the failed slot (woken but
+          // not yet past their decrement). The retry is deferred, not
+          // skipped: wait for the last of them to drop the slot instead
+          // of rethrowing an error this reader never observed.
+          ready_cv_.wait(lock, [&] {
+            const auto cur = slots_.find(block);
+            return cur == slots_.end() || cur->second != slot ||
+                   slot->waiters == 0;
+          });
+          continue;
+        }
+        slots_.erase(block);
+        to_run.clear();
+        schedule_locked(block, to_run);
+        dispatch(lock, to_run, block);
+        first_look = false;
+        continue;
+      }
+      const std::exception_ptr error = slot->error;
+      if (slot->waiters == 0) {
+        slots_.erase(block);
+        // A deferred-retry reader may be waiting for this drain.
+        ready_cv_.notify_all();
+      }
+      std::rethrow_exception(error);
     }
     ++slot->waiters;
     ++stats_.decode_waits;
@@ -224,6 +268,7 @@ void DecodeSession::decode_task(std::uint64_t block) {
     slot.state = Slot::State::kFailed;
     slot.error = std::current_exception();
     --inflight_;
+    ++stats_.decode_failures;
     ready_cv_.notify_all();
   }
 }

@@ -63,9 +63,10 @@ struct SessionOptions {
 struct SessionStats {
   std::uint64_t blocks_decoded = 0;   // decode tasks completed
   std::uint64_t cache_hits = 0;       // reads served from an already-decoded block
-  std::uint64_t demand_decodes = 0;   // blocks decoded inline on a reader
-  std::uint64_t prefetch_decodes = 0; // blocks decoded by submitted pool tasks
+  std::uint64_t demand_decodes = 0;   // blocks a reader demanded (and waited on)
+  std::uint64_t prefetch_decodes = 0; // lookahead blocks decoded ahead of demand
   std::uint64_t decode_waits = 0;     // reader blocked on an in-flight block
+  std::uint64_t decode_failures = 0;  // decode tasks that ended in an error
   std::uint64_t evictions = 0;        // decoded blocks dropped by the LRU
   std::uint64_t bytes_delivered = 0;
   util::BufferPool::Stats pool;       // the memory-bound witness (bench_serve)
@@ -117,8 +118,11 @@ class DecodeSession {
     enum class State { kScheduled, kReady, kFailed };
     State state = State::kScheduled;
     util::PooledBuffer data;            // valid when kReady
-    std::exception_ptr error;           // valid when kFailed (sticky)
-    int waiters = 0;                    // readers blocked on this block
+    std::exception_ptr error;           // valid when kFailed (delivered to
+                                        // current waiters, then dropped so
+                                        // a later read retries the block)
+    int waiters = 0;                    // readers blocked on or pinning this
+                                        // block (eviction skips pinned slots)
     std::list<std::uint64_t>::iterator lru_it{};  // valid when kReady
   };
 
@@ -128,7 +132,8 @@ class DecodeSession {
                   std::uint8_t* out);
   void schedule_locked(std::uint64_t first, std::vector<std::uint64_t>& to_run);
   void dispatch(std::unique_lock<std::mutex>& lock,
-                const std::vector<std::uint64_t>& to_run);
+                const std::vector<std::uint64_t>& to_run,
+                std::uint64_t demanded);
   void decode_task(std::uint64_t block);
   void evict_excess_locked();
   std::unique_ptr<core::BlockDecodeContext> pop_context();

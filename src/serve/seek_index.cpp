@@ -116,6 +116,14 @@ SeekIndex SeekIndex::deserialize(ByteSpan sidecar) {
     const std::uint64_t header_end = reader.offset() + seg.header_bytes;
     seg.header = format::FileHeader::deserialize(reader);
     check(reader.offset() == header_end, "serve: seek-index header blob mismatch");
+    // The build path runs check_payload, which enforces this; a sidecar
+    // is untrusted and skips it (no payload length in hand), so the
+    // block-count invariant must be re-checked here. Without it a header
+    // claiming e.g. zero blocks for a nonzero uncompressed_size leaves
+    // gaps in the block table, block_containing() underflows, and
+    // read_impl's `uncomp_size - in_block` wraps into an out-of-bounds
+    // copy.
+    seg.header.check_block_count();
     // Subtractive bound: a crafted offset near 2^64 must not wrap an
     // additive comparison into acceptance (same hardening discipline as
     // FileHeader::check_payload).

@@ -44,10 +44,13 @@ inline int count_leading_zeros(std::uint32_t x) {
   return x == 0 ? 32 : std::countl_zero(x);
 }
 
-/// Integer ceiling division.
+/// Integer ceiling division. Written without the (a + b - 1) numerator:
+/// that form wraps for `a` near the type's maximum, which matters when
+/// `a` is untrusted (e.g. an uncompressed_size of 2^64-1 from a crafted
+/// header would make the block-count invariant vacuously pass).
 template <typename T>
 constexpr T div_ceil(T a, T b) {
-  return (a + b - 1) / b;
+  return a / b + (a % b != 0 ? 1 : 0);
 }
 
 /// Rounds `v` up to the next multiple of `mult`.

@@ -7,6 +7,7 @@
 #include "core/compressor.hpp"
 #include "core/stream.hpp"
 #include "datagen/datasets.hpp"
+#include "format/header.hpp"
 
 namespace gompresso {
 namespace {
@@ -183,6 +184,46 @@ TEST(Stream, NonSeekableAcceptsBareContainer) {
   std::ostringstream out;
   EXPECT_EQ(decompress_stream(cin, out), input.size());
   EXPECT_EQ(out.str(), to_string(input));
+}
+
+TEST(Stream, NonSeekableBareContainerBlockCountMismatchThrows) {
+  // A corrupt bare-container header claiming fewer blocks than
+  // ceil(uncompressed_size / block_size) used to emit truncated output
+  // and return success on the pipe path (no framing payload size to
+  // validate against); the block-count invariant must still be checked.
+  const Bytes input = datagen::wikipedia(150000);
+  CompressOptions opt;
+  opt.block_size = 32 * 1024;
+  const Bytes file = compress(input, opt);
+  std::size_t pos = 0;
+  format::FileHeader h = format::FileHeader::deserialize(file, pos);
+  ASSERT_GT(h.num_blocks(), 1u);
+  const std::size_t last_payload =
+      static_cast<std::size_t>(h.block_compressed_sizes.back());
+  h.block_compressed_sizes.pop_back();  // claim one block fewer
+  Bytes doctored = h.serialize();
+  doctored.insert(doctored.end(), file.begin() + pos, file.end() - last_payload);
+  SequentialBuf buf(std::string(doctored.begin(), doctored.end()));
+  std::istream cin(&buf);
+  cin.clear();
+  std::ostringstream out;
+  EXPECT_THROW(decompress_stream(cin, out), Error);
+}
+
+TEST(Stream, NonSeekableImplausibleBlockSizeRejected) {
+  // On a pipe there is no payload length to validate the size list
+  // against; a crafted tiny header claiming a multi-GiB compressed block
+  // must fail with a clean Error, not attempt the allocation.
+  format::FileHeader h;
+  h.block_size = 1;
+  h.uncompressed_size = 1;
+  h.block_compressed_sizes = {1ull << 35};
+  const Bytes doctored = h.serialize();
+  SequentialBuf buf(std::string(doctored.begin(), doctored.end()));
+  std::istream cin(&buf);
+  cin.clear();
+  std::ostringstream out;
+  EXPECT_THROW(decompress_stream(cin, out), Error);
 }
 
 TEST(Stream, NonSeekableTruncatedInputThrows) {

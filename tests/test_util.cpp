@@ -237,6 +237,9 @@ TEST(ThreadPool, SingleThreadFallback) {
 TEST(CommonHelpers, Arithmetic) {
   EXPECT_EQ(div_ceil(10, 3), 4);
   EXPECT_EQ(div_ceil(9, 3), 3);
+  EXPECT_EQ(div_ceil<std::uint64_t>(0, 5), 0u);
+  // Must not wrap for dividends near the type maximum (untrusted sizes).
+  EXPECT_EQ(div_ceil<std::uint64_t>(~0ull, 2), (1ull << 63));
   EXPECT_EQ(round_up(10, 8), 16);
   EXPECT_EQ(round_up(16, 8), 16);
   EXPECT_TRUE(is_pow2(1));
