@@ -38,6 +38,11 @@ int main() {
       const Bytes file = compress(input, copt, &stats);
       auto m = measure_decompress(file, input.size(), row.codec,
                                   Strategy::kDependencyFree);
+      // All three codecs now decode through the pre-reserved scratch
+      // arena: steady-state block decode must not grow a single buffer.
+      check(m.result.scratch.blocks > 0 &&
+                m.result.scratch.blocks == m.result.scratch.buffer_reuses,
+            "bench_tans: block decode allocated in the steady state");
       m.profile.pcie_in = true;
       m.profile.pcie_out = true;
       std::printf("%-10s %-12s %-8.2f %-16zu %-14.2f %.2f\n", name, row.label,

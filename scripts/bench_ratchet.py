@@ -57,18 +57,30 @@ def main():
     if missing:
         sys.exit(f"ratchet: entries missing from {args.current}: {missing}")
 
-    changes = []
+    changes = {}
     print(f"{'entry':<32} {'baseline':>10} {'current':>10} {'change':>8}")
     for name in sorted(base):
         # change > 0 is an improvement relative to the in-run reference.
         change = cur[name] / base[name] - 1.0
-        changes.append(change)
+        changes[name] = change
         print(f"{name:<32} {base[name]:>9.3f}x {cur[name]:>9.3f}x {change:>+7.1%}")
 
-    median_change = statistics.median(changes)
+    median_change = statistics.median(changes.values())
     print(f"\nmedian change vs baseline: {median_change:+.1%} "
           f"(gate: > -{args.threshold:.0%})")
     if median_change < -args.threshold:
+        # Spell out exactly which entries dragged the median down, worst
+        # first, so a CI failure names the regressing configurations
+        # instead of only the verdict.
+        print("\nper-entry regressions beyond the threshold (worst first):")
+        offenders = sorted((c, n) for n, c in changes.items()
+                           if c < -args.threshold)
+        for change, name in offenders:
+            print(f"  {name:<32} {change:+.1%} "
+                  f"({base[name]:.3f}x -> {cur[name]:.3f}x vs {args.ref})")
+        if not offenders:
+            print("  (none individually below the threshold — "
+                  "a broad small slowdown moved the median)")
         sys.exit("ratchet: median regression exceeds the threshold — "
                  "either fix the regression or (for an intentional trade-off) "
                  "re-baseline bench/baselines/ with a fresh run and justify it "

@@ -10,7 +10,7 @@
 namespace gompresso::ans {
 namespace {
 
-constexpr std::size_t kAlphabet = 256;
+constexpr std::size_t kAlphabet = kAlphabetSize;
 
 // Payload tags for the self-contained convenience format.
 constexpr std::uint8_t kTagEmpty = 0;
@@ -18,13 +18,13 @@ constexpr std::uint8_t kTagRle = 1;   // single distinct symbol
 constexpr std::uint8_t kTagCoded = 2;
 
 /// FSE-style spread: distributes symbol occurrences over the state table
-/// with the co-prime step (5/8 table + 3).
-std::vector<std::uint8_t> spread_symbols(const std::vector<std::uint32_t>& norm,
-                                         unsigned table_log) {
+/// with the co-prime step (5/8 table + 3). Fills the caller's buffer
+/// (first 2^table_log entries) so table rebuilds stay allocation-free.
+void spread_symbols_into(const std::vector<std::uint32_t>& norm, unsigned table_log,
+                         std::uint8_t* spread) {
   const std::size_t table_size = std::size_t{1} << table_log;
   const std::size_t step = (table_size >> 1) + (table_size >> 3) + 3;
   const std::size_t mask = table_size - 1;
-  std::vector<std::uint8_t> spread(table_size);
   std::size_t pos = 0;
   for (std::size_t s = 0; s < kAlphabet; ++s) {
     for (std::uint32_t i = 0; i < norm[s]; ++i) {
@@ -33,7 +33,6 @@ std::vector<std::uint8_t> spread_symbols(const std::vector<std::uint32_t>& norm,
     }
   }
   check(pos == 0, "tans: spread did not cover table");  // step co-prime with size
-  return spread;
 }
 
 }  // namespace
@@ -86,7 +85,8 @@ std::vector<std::uint32_t> normalize_frequencies(const std::vector<std::uint64_t
 
 Model Model::from_frequencies(const std::vector<std::uint64_t>& freqs,
                               unsigned table_log) {
-  check(table_log >= 9 && table_log <= 14, "tans: table_log out of [9, 14]");
+  check(table_log >= kMinTableLog && table_log <= kMaxTableLog,
+        "tans: table_log out of [9, 14]");
   check(freqs.size() <= kAlphabet, "tans: alphabet too large");
   Model m;
   m.table_log_ = table_log;
@@ -96,33 +96,49 @@ Model Model::from_frequencies(const std::vector<std::uint64_t>& freqs,
   check(std::accumulate(m.norm_.begin(), m.norm_.end(), std::uint64_t{0}) ==
             (1ull << table_log),
         "tans: empty model");
-  m.build_tables();
+  m.build_tables(/*build_encoder=*/true);
   return m;
 }
 
-void Model::build_tables() {
+void Model::build_tables(bool build_encoder) {
   const std::size_t table_size = std::size_t{1} << table_log_;
-  const auto spread = spread_symbols(norm_, table_log_);
+  // Stack scratch (16 KiB + 1 KiB worst case) keeps rebuilds heap-free.
+  std::uint8_t spread[std::size_t{1} << kMaxTableLog];
+  spread_symbols_into(norm_, table_log_, spread);
+  std::uint32_t counter[kAlphabet];
+  for (std::size_t s = 0; s < kAlphabet; ++s) counter[s] = norm_[s];
 
-  enc_offset_.assign(kAlphabet + 1, 0);
-  for (std::size_t s = 0; s < kAlphabet; ++s) {
-    enc_offset_[s + 1] = enc_offset_[s] + norm_[s];
+  if (build_encoder) {
+    enc_offset_.assign(kAlphabet + 1, 0);
+    for (std::size_t s = 0; s < kAlphabet; ++s) {
+      enc_offset_[s + 1] = enc_offset_[s] + norm_[s];
+    }
+    enc_next_state_.assign(table_size, 0);
+  } else {
+    enc_offset_.clear();
+    enc_next_state_.clear();
   }
-  enc_next_state_.assign(table_size, 0);
   dec_table_.assign(table_size, {});
 
-  std::vector<std::uint32_t> counter(kAlphabet);
-  for (std::size_t s = 0; s < kAlphabet; ++s) counter[s] = norm_[s];
   for (std::size_t u = 0; u < table_size; ++u) {
     const std::uint8_t s = spread[u];
     const std::uint32_t x = counter[s]++;  // in [norm[s], 2*norm[s])
-    enc_next_state_[enc_offset_[s] + (x - norm_[s])] =
-        static_cast<std::uint32_t>(u + table_size);
+    if (build_encoder) {
+      enc_next_state_[enc_offset_[s] + (x - norm_[s])] =
+          static_cast<std::uint32_t>(u + table_size);
+    }
     const unsigned nb = table_log_ - floor_log2(x);
     dec_table_[u].symbol = s;
     dec_table_[u].nb_bits = static_cast<std::uint8_t>(nb);
     dec_table_[u].new_state = static_cast<std::uint16_t>((x << nb) - table_size);
   }
+}
+
+void Model::reserve_decode(unsigned table_log) {
+  check(table_log >= kMinTableLog && table_log <= kMaxTableLog,
+        "tans: table_log out of [9, 14]");
+  norm_.reserve(kAlphabet);
+  dec_table_.reserve(std::size_t{1} << table_log);
 }
 
 void Model::serialize(Bytes& out) const {
@@ -139,12 +155,11 @@ void Model::serialize(Bytes& out) const {
   }
 }
 
-Model Model::deserialize(ByteSpan data, std::size_t& pos) {
+void Model::parse_counts(ByteSpan data, std::size_t& pos) {
   // The caller supplies the table_log out of band in the convenience
   // format; the shared-model format stores it adjacent. To keep one code
-  // path, deserialize() reads counts and infers the log from their sum.
-  Model m;
-  m.norm_.assign(kAlphabet, 0);
+  // path, deserialization reads counts and infers the log from their sum.
+  norm_.assign(kAlphabet, 0);
   const std::uint64_t present = get_varint(data, pos);
   check(present >= 1 && present <= kAlphabet, "tans: bad symbol count");
   std::size_t sym = 0;
@@ -153,19 +168,33 @@ Model Model::deserialize(ByteSpan data, std::size_t& pos) {
     sym += static_cast<std::size_t>(get_varint(data, pos));
     check(sym < kAlphabet, "tans: symbol out of range");
     const std::uint64_t c = get_varint(data, pos);
-    check(c >= 1 && c <= (1u << 14), "tans: bad normalized count");
-    m.norm_[sym] = static_cast<std::uint32_t>(c);
+    check(c >= 1 && c <= (1u << kMaxTableLog), "tans: bad normalized count");
+    norm_[sym] = static_cast<std::uint32_t>(c);
     total += c;
   }
-  check(is_pow2(total) && total >= (1u << 9) && total <= (1u << 14),
+  check(is_pow2(total) && total >= (1u << kMinTableLog) && total <= (1u << kMaxTableLog),
         "tans: normalized counts do not sum to a table size");
-  m.table_log_ = floor_log2(total);
-  m.build_tables();
+  table_log_ = floor_log2(total);
+}
+
+Model Model::deserialize(ByteSpan data, std::size_t& pos) {
+  Model m;
+  m.parse_counts(data, pos);
+  m.build_tables(/*build_encoder=*/true);
   return m;
+}
+
+bool Model::deserialize_decode_into(ByteSpan data, std::size_t& pos) {
+  const bool norm_warm = norm_.capacity() >= kAlphabet;
+  parse_counts(data, pos);
+  const bool tables_warm = dec_table_.capacity() >= (std::size_t{1} << table_log_);
+  build_tables(/*build_encoder=*/false);
+  return norm_warm && tables_warm;
 }
 
 Bytes Model::encode_stream(ByteSpan data) const {
   check(valid(), "tans: encoding with an empty model");
+  check(!enc_next_state_.empty(), "tans: model lacks encoder tables (decode-only)");
   const std::size_t table_size = std::size_t{1} << table_log_;
 
   // Encode in reverse; bits are stacked and replayed forward so the
@@ -196,33 +225,133 @@ Bytes Model::encode_stream(ByteSpan data) const {
 }
 
 Bytes Model::decode_stream(ByteSpan stream, std::size_t count) const {
+  Bytes out(count);
+  decode_stream_into(stream, out);
+  return out;
+}
+
+std::uint32_t Model::parse_stream_header(ByteSpan stream, ByteSpan& bits) const {
   check(valid(), "tans: decoding with an empty model");
   const std::size_t table_size = std::size_t{1} << table_log_;
   std::size_t pos = 0;
   const std::uint64_t start_state = get_varint(stream, pos);
   check(start_state >= table_size && start_state < 2 * table_size,
         "tans: bad stream start state");
+  // Validated against the remainder, not via `pos + stream_bytes`: a
+  // crafted size near 2^64 would wrap the sum and pass.
   const std::uint64_t stream_bytes = get_varint(stream, pos);
-  check(pos + stream_bytes <= stream.size(), "tans: truncated stream");
+  check(stream_bytes <= stream.size() - pos, "tans: truncated stream");
+  bits = stream.subspan(pos, static_cast<std::size_t>(stream_bytes));
+  return static_cast<std::uint32_t>(start_state - table_size);
+}
 
-  BitReader bits(stream.subspan(pos, static_cast<std::size_t>(stream_bytes)));
-  Bytes out(count);
-  std::uint32_t state = static_cast<std::uint32_t>(start_state - table_size);
-  for (std::size_t i = 0; i < count; ++i) {
-    const DecodeEntry& e = dec_table_[state];
-    out[i] = e.symbol;
-    state = e.new_state + bits.read(e.nb_bits);
-    check(state < table_size, "tans: state escaped table (corrupt stream)");
+// For any table the build invariant gives new_state <= table_size -
+// 2^nb_bits, so new_state + read(nb_bits) < table_size always: the state
+// cannot escape the table even on corrupt bits (those are caught by the
+// overflow latch and the callers' symbol-count checks), and the decode
+// loops below need no per-symbol bounds check.
+
+void Model::decode_stream_into(ByteSpan stream, MutableByteSpan out) const {
+  ByteSpan payload;
+  std::uint32_t state = parse_stream_header(stream, payload);
+  BitReader bits(payload);
+  const DecodeEntry* const table = dec_table_.data();
+  std::uint8_t* o = out.data();
+  std::size_t n = out.size();
+  // One refill covers four symbols: 4 * kMaxTableLog = 56 bits, exactly
+  // the BitReader guarantee.
+  while (n >= 4) {
+    bits.refill();
+    for (int k = 0; k < 4; ++k) {
+      const DecodeEntry e = table[state];
+      *o++ = e.symbol;
+      state = e.new_state + bits.read_unchecked(e.nb_bits);
+    }
+    n -= 4;
+  }
+  bits.refill();
+  while (n-- > 0) {
+    const DecodeEntry e = table[state];
+    *o++ = e.symbol;
+    state = e.new_state + bits.read_unchecked(e.nb_bits);
   }
   check(!bits.overflowed(), "tans: bitstream underrun");
-  return out;
+}
+
+void Model::decode_streams4(const Model& model, const ByteSpan* streams,
+                            std::uint8_t* const* outs, const std::size_t* counts,
+                            int n) {
+  check(n >= 0 && n <= 4, "tans: bad stream batch size");
+  if (n < 4) {
+    // Remainder batches (at most three per lane chunk) take the
+    // single-chain kernel; the interleave only pays at full width.
+    for (int i = 0; i < n; ++i) {
+      model.decode_stream_into(streams[i], MutableByteSpan(outs[i], counts[i]));
+    }
+    return;
+  }
+
+  ByteSpan payloads[4];
+  std::uint32_t st[4];
+  for (int i = 0; i < 4; ++i) st[i] = model.parse_stream_header(streams[i], payloads[i]);
+  BitReader br[4] = {BitReader(payloads[0]), BitReader(payloads[1]),
+                     BitReader(payloads[2]), BitReader(payloads[3])};
+  const DecodeEntry* const table = model.dec_table_.data();
+  std::uint8_t* o[4] = {outs[0], outs[1], outs[2], outs[3]};
+  std::size_t rem[4] = {counts[0], counts[1], counts[2], counts[3]};
+
+  // Interleaved main loop: four independent state chains, four symbols
+  // each per refill (4 * kMaxTableLog = 56 bits, the BitReader
+  // guarantee). Runs for min(rem)/4 rounds without any per-round
+  // bookkeeping beyond the counters.
+  std::size_t rounds = std::min(std::min(rem[0], rem[1]), std::min(rem[2], rem[3])) / 4;
+  for (int i = 0; i < 4; ++i) rem[i] -= rounds * 4;
+  while (rounds-- > 0) {
+    br[0].refill();
+    br[1].refill();
+    br[2].refill();
+    br[3].refill();
+    for (int k = 0; k < 4; ++k) {
+      const DecodeEntry e0 = table[st[0]];
+      const DecodeEntry e1 = table[st[1]];
+      const DecodeEntry e2 = table[st[2]];
+      const DecodeEntry e3 = table[st[3]];
+      *o[0]++ = e0.symbol;
+      *o[1]++ = e1.symbol;
+      *o[2]++ = e2.symbol;
+      *o[3]++ = e3.symbol;
+      st[0] = e0.new_state + br[0].read_unchecked(e0.nb_bits);
+      st[1] = e1.new_state + br[1].read_unchecked(e1.nb_bits);
+      st[2] = e2.new_state + br[2].read_unchecked(e2.nb_bits);
+      st[3] = e3.new_state + br[3].read_unchecked(e3.nb_bits);
+    }
+  }
+
+  // Tails: with near-uniform lane counts (equal tokens_per_subblock)
+  // these are under four symbols each; skewed literal counts just fall
+  // back to the single-chain rate for the imbalance.
+  for (int i = 0; i < 4; ++i) {
+    std::size_t left = rem[i];
+    while (left > 0) {
+      br[i].refill();
+      const std::size_t run = left < 4 ? left : 4;
+      for (std::size_t k = 0; k < run; ++k) {
+        const DecodeEntry e = table[st[i]];
+        *o[i]++ = e.symbol;
+        st[i] = e.new_state + br[i].read_unchecked(e.nb_bits);
+      }
+      left -= run;
+    }
+    check(!br[i].overflowed(), "tans: bitstream underrun");
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Self-contained convenience format
 
 Bytes encode(ByteSpan data, unsigned table_log) {
-  check(table_log >= 9 && table_log <= 14, "tans: table_log out of [9, 14]");
+  check(table_log >= kMinTableLog && table_log <= kMaxTableLog,
+        "tans: table_log out of [9, 14]");
   Bytes out;
   if (data.empty()) {
     out.push_back(kTagEmpty);

@@ -22,6 +22,13 @@ namespace gompresso::ans {
 /// Default table log (2^11 states, the FSE default neighbourhood).
 inline constexpr unsigned kDefaultTableLog = 11;
 
+/// Valid table-log range for any model (decode tables up to 2^14 states).
+inline constexpr unsigned kMinTableLog = 9;
+inline constexpr unsigned kMaxTableLog = 14;
+
+/// Byte alphabet size shared by every model.
+inline constexpr std::size_t kAlphabetSize = 256;
+
 /// Encodes `data` (byte alphabet) into a self-contained payload embedding
 /// the normalized frequency table and the original size.
 Bytes encode(ByteSpan data, unsigned table_log = kDefaultTableLog);
@@ -57,6 +64,19 @@ class Model {
   /// Reads a model back; `pos` advances past it.
   static Model deserialize(ByteSpan data, std::size_t& pos);
 
+  /// In-place variant of deserialize() for the decode hot path: rebuilds
+  /// this model from the serialized counts, reusing the existing table
+  /// storage (allocation-free once the buffers are warm — see
+  /// reserve_decode). Only the decode table is built; calling
+  /// encode_stream on a model read this way throws. Returns true when no
+  /// internal buffer had to grow (the steady-state reuse signal the
+  /// scratch counters aggregate).
+  bool deserialize_decode_into(ByteSpan data, std::size_t& pos);
+
+  /// Pre-sizes the decode-side buffers for tables up to `table_log`, so
+  /// every later deserialize_decode_into is allocation-free.
+  void reserve_decode(unsigned table_log);
+
   /// Encodes one stream with this model (the stream embeds only its
   /// final state and bit payload — the model is shared externally).
   /// Every symbol of `data` must be present in the model.
@@ -64,6 +84,24 @@ class Model {
 
   /// Decodes a stream of `count` symbols produced by encode_stream.
   Bytes decode_stream(ByteSpan stream, std::size_t count) const;
+
+  /// Allocation-free span variant of decode_stream: decodes exactly
+  /// out.size() symbols into `out`. This is the sub-block lane kernel —
+  /// one branchless refill covers four symbols (4 * kMaxTableLog bits fit
+  /// the BitReader guarantee), so the steady-state symbol cost is one
+  /// table load plus one unchecked bit read.
+  void decode_stream_into(ByteSpan stream, MutableByteSpan out) const;
+
+  /// Decodes up to four independent streams of one shared model
+  /// concurrently, interleaving their state chains so the out-of-order
+  /// core overlaps the serial table-load latencies (the FSE multi-state
+  /// trick applied across sub-block lanes instead of within one stream —
+  /// the on-disk format is unchanged; this is the CPU register file
+  /// playing the role of the paper's warp lanes). Equivalent to decoding
+  /// stream i with decode_stream_into(streams[i], {outs[i], counts[i]}).
+  static void decode_streams4(const Model& model, const ByteSpan* streams,
+                              std::uint8_t* const* outs, const std::size_t* counts,
+                              int n);
 
   unsigned table_log() const { return table_log_; }
   bool valid() const { return table_log_ != 0; }
@@ -73,7 +111,14 @@ class Model {
   std::size_t decode_table_bytes() const { return (std::size_t{1} << table_log_) * 4; }
 
  private:
-  void build_tables();
+  /// Validates a stream's header (start state + payload size) and returns
+  /// the table-biased initial state; `bits` receives the bit payload.
+  std::uint32_t parse_stream_header(ByteSpan stream, ByteSpan& bits) const;
+  /// Parses the gap-coded counts into norm_ and infers table_log_.
+  void parse_counts(ByteSpan data, std::size_t& pos);
+  /// (Re)builds the state tables in place; the encoder side is optional
+  /// (the decode hot path never touches it).
+  void build_tables(bool build_encoder);
 
   unsigned table_log_ = 0;
   std::vector<std::uint32_t> norm_;  // 256 entries, sums to 2^table_log

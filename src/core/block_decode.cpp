@@ -36,32 +36,31 @@ void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc
     std::copy(payload.begin(), payload.end(), out.begin());
   } else {
     check(mode == kBlockModeCoded, "decompress: unknown block mode");
-    // Phase 1: token decode (warp-parallel over sub-blocks for /Bit
-    // and /Tans). The bit codec decodes into the context's scratch arena
-    // — zero allocations once its buffers are warm — and optionally fans
-    // its sub-block lanes out across `lane_pool`.
-    lz77::TokenBlock local_block;  // byte/tans output (bit uses the arena)
+    // Phase 1: token decode. Every codec decodes into the context's
+    // scratch arena — zero allocations once its buffers are warm — and
+    // optionally fans its independent sub-block lanes (record-array
+    // chunks for /Byte) out across `lane_pool`.
+    // Pre-size the arena on the context's first block (not eagerly —
+    // most pool participants never run when blocks are few), so no
+    // block decode ever grows a buffer.
+    if (!ctx.scratch_reserved) {
+      ctx.scratch.reserve(header.block_size, header.tokens_per_subblock,
+                          header.codec == Codec::kTans);
+      ctx.scratch_reserved = true;
+    }
     const lz77::TokenBlock* tokens;
     if (header.codec == Codec::kBit) {
-      // Pre-size the arena on the context's first block (not eagerly —
-      // most pool participants never run when blocks are few), so no
-      // block decode ever grows a buffer.
-      if (!ctx.scratch_reserved) {
-        ctx.scratch.reserve(header.block_size, header.tokens_per_subblock);
-        ctx.scratch_reserved = true;
-      }
       BitCodecConfig bit_config;
       bit_config.tokens_per_subblock = header.tokens_per_subblock;
       bit_config.codeword_limit = header.codeword_limit;
       tokens = &decode_block_bit(payload, bit_config, ctx.scratch, lane_pool);
     } else if (header.codec == Codec::kByte) {
-      local_block = decode_block_byte(payload);
-      tokens = &local_block;
+      tokens = &decode_block_byte(payload, ctx.scratch, lane_pool);
     } else {
       TansCodecConfig tans_config;
       tans_config.tokens_per_subblock = header.tokens_per_subblock;
-      local_block = decode_block_tans(payload, tans_config);
-      tokens = &local_block;
+      tokens = &decode_block_tans(payload, tans_config, ctx.scratch, lane_pool,
+                                  out.size());
     }
     check(tokens->uncompressed_size == out.size(), "decompress: block size mismatch");
 

@@ -1,12 +1,22 @@
 #include "core/byte_codec.hpp"
 
+#include <atomic>
 #include <cstring>
+#include <limits>
 
+#include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 
 namespace gompresso::core {
 
 std::size_t max_encoded_size_byte(const lz77::TokenBlock& block) {
+  // Same strict-parse discipline as the decoder: the sum must not wrap,
+  // or the caller's reserve() under-allocates and the append loop runs
+  // against an undersized buffer.
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  check(block.literals.size() <= kMax - 10, "byte codec: block too large to encode");
+  check(block.sequences.size() <= (kMax - 10 - block.literals.size()) / kByteRecordSize,
+        "byte codec: block too large to encode");
   return 10 + block.sequences.size() * kByteRecordSize + block.literals.size();
 }
 
@@ -54,25 +64,90 @@ Bytes encode_block_byte(const lz77::TokenBlock& block) {
 }
 
 lz77::TokenBlock decode_block_byte(ByteSpan payload) {
+  DecodeScratch scratch;
+  decode_block_byte(payload, scratch);
+  return std::move(scratch.block);
+}
+
+const lz77::TokenBlock& decode_block_byte(ByteSpan payload, DecodeScratch& scratch,
+                                          ThreadPool* lane_pool) {
   std::size_t pos = 0;
   const std::uint64_t n_sequences = get_varint(payload, pos);
   check(n_sequences > 0, "byte codec: empty block");
   check(n_sequences <= (payload.size() - pos) / kByteRecordSize,
         "byte codec: truncated record array");
+  const std::size_t records_begin = pos;
+  const std::size_t records_end =
+      records_begin + static_cast<std::size_t>(n_sequences) * kByteRecordSize;
+  const std::size_t lit_region = payload.size() - records_end;
 
-  lz77::TokenBlock block;
+  const bool buffers_fit = scratch.block.sequences.capacity() >= n_sequences &&
+                           scratch.block.literals.capacity() >= lit_region;
+
+  lz77::TokenBlock& block = scratch.block;
   block.sequences.resize(static_cast<std::size_t>(n_sequences));
+
+  // Unpack the fixed-width records. Each lane accumulates its own output
+  // and literal byte counts; the per-record fields are bit-bounded
+  // (literal_len <= 8191, match_len <= 65), so a lane's u64 sums cannot
+  // wrap for any record count a real payload can hold.
+  const auto unpack_range = [&](std::size_t begin, std::size_t end,
+                                std::uint64_t& lane_total, std::uint64_t& lane_lits) {
+    std::size_t rp = records_begin + begin * kByteRecordSize;
+    std::uint64_t total = 0, lits = 0;
+    for (std::size_t k = begin; k < end; ++k) {
+      std::uint32_t word;
+      std::memcpy(&word, payload.data() + rp, 4);  // little-endian hosts
+      rp += kByteRecordSize;
+      const lz77::Sequence s = unpack_record(word);
+      total += s.literal_len + s.match_len;
+      lits += s.literal_len;
+      // Per-record accumulation checks (necessary conditions that hold
+      // for every lane): fail at the first lying record instead of after
+      // the whole array has been staged. Never taken for valid payloads,
+      // so the branches cost nothing on the hot path.
+      check(lits <= lit_region, "byte codec: literal region size mismatch");
+      check(total <= 0xFFFFFFFFull, "byte codec: block too large");
+      block.sequences[k] = s;
+    }
+    lane_total = total;
+    lane_lits = lits;
+  };
+
   std::uint64_t total = 0;
   std::uint64_t literal_total = 0;
-  for (auto& s : block.sequences) {
-    s = unpack_record(get_u32le(payload, pos));
-    total += s.literal_len + s.match_len;
-    literal_total += s.literal_len;
+  if (lane_pool != nullptr && n_sequences > 1) {
+    std::atomic<std::uint64_t> pool_total{0}, pool_lits{0};
+    const std::size_t grain = std::max<std::size_t>(
+        512, static_cast<std::size_t>(n_sequences) / (4 * lane_pool->parallelism()));
+    lane_pool->parallel_for_chunked(
+        static_cast<std::size_t>(n_sequences), grain,
+        [&](std::size_t begin, std::size_t end) {
+          std::uint64_t lane_total = 0, lane_lits = 0;
+          unpack_range(begin, end, lane_total, lane_lits);
+          pool_total.fetch_add(lane_total, std::memory_order_relaxed);
+          pool_lits.fetch_add(lane_lits, std::memory_order_relaxed);
+        });
+    ++scratch.stats.lane_fanouts;
+    total = pool_total.load();
+    literal_total = pool_lits.load();
+  } else {
+    unpack_range(0, static_cast<std::size_t>(n_sequences), total, literal_total);
   }
-  check(literal_total == payload.size() - pos, "byte codec: literal region size mismatch");
-  block.literals.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos), payload.end());
+
+  // Strict parse: every accumulated claim is validated before a single
+  // literal byte is copied, so a lying record array cannot make the
+  // decoder stage a bogus multi-gigabyte block.
+  check(literal_total == lit_region, "byte codec: literal region size mismatch");
   check(total <= 0xFFFFFFFFull, "byte codec: block too large");
+  block.literals.resize(lit_region);
+  if (lit_region != 0) {
+    std::memcpy(block.literals.data(), payload.data() + records_end, lit_region);
+  }
   block.uncompressed_size = static_cast<std::uint32_t>(total);
+
+  ++scratch.stats.blocks;
+  if (buffers_fit) ++scratch.stats.buffer_reuses;
   return block;
 }
 

@@ -26,12 +26,18 @@
 
 #include <vector>
 
+#include "core/decode_scratch.hpp"
 #include "lz77/sequence.hpp"
 #include "util/common.hpp"
 
+namespace gompresso {
+class ThreadPool;
+}
+
 namespace gompresso::core {
 
-inline constexpr std::size_t kByteRecordSize = 4;
+// kByteRecordSize (the 4-byte packed record width) lives in
+// core/decode_scratch.hpp, next to the scratch arena sized against it.
 inline constexpr std::uint32_t kByteCodecMaxLiteralRun = 8191;
 inline constexpr std::uint32_t kByteCodecMaxMatch = 65;
 inline constexpr std::uint32_t kByteCodecMaxDistance = 8192;
@@ -42,9 +48,21 @@ Bytes encode_block_byte(const lz77::TokenBlock& block);
 
 /// Parses a payload back into sequences + literal bytes.
 /// Throws gompresso::Error on truncated or inconsistent payloads.
+/// Convenience wrapper around the scratch-arena overload below.
 lz77::TokenBlock decode_block_byte(ByteSpan payload);
 
+/// Zero-allocation fast path: unpacks the fixed-width records directly
+/// into `scratch`'s reused token block and returns a reference to
+/// scratch.block (valid until the next decode with the same scratch).
+/// The fixed record width makes any sub-range of the record array an
+/// independent lane, so with a non-null `lane_pool` the unpack is fanned
+/// out across the pool (the paper's lane-parallel record loads) — pass it
+/// only when the caller is not itself running block-parallel work.
+const lz77::TokenBlock& decode_block_byte(ByteSpan payload, DecodeScratch& scratch,
+                                          ThreadPool* lane_pool = nullptr);
+
 /// Upper bound on the encoded size of a block (for buffer reservations).
+/// Overflow-guarded: throws rather than wrapping for absurd counts.
 std::size_t max_encoded_size_byte(const lz77::TokenBlock& block);
 
 /// Packs one sequence into the 4-byte record word (domain-checked).

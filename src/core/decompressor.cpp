@@ -55,7 +55,7 @@ DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
     // Serial: one worker context, blocks in order.
     workers.resize(1);
     for (std::size_t b = 0; b < num_blocks; ++b) decompress_one(workers[0], b, nullptr);
-  } else if (num_blocks != 1 || header.codec != Codec::kBit) {
+  } else if (num_blocks != 1) {
     // (An empty file — zero blocks — also lands here; the parallel_for
     // over zero indices is a no-op.)
     // Inter-block parallelism: workers pull whole blocks from the queue.
@@ -69,7 +69,8 @@ DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
     });
   } else {
     // A single block cannot use inter-block parallelism at all: fan its
-    // sub-block decode lanes out across the pool instead.
+    // sub-block decode lanes (record-array chunks for /Byte) out across
+    // the pool instead — every codec supports the lane-pool path.
     workers.resize(1);
     decompress_one(workers[0], 0, pool);
   }

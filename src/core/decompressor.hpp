@@ -26,7 +26,7 @@ struct DecompressResult {
   Strategy strategy_used = Strategy::kMultiRound;
   simt::WarpMetrics metrics;
   core::MultiPassStats multipass;  // populated only for kMultiPass
-  /// Decode-arena reuse counters (bit codec). In the steady state every
+  /// Decode-arena reuse counters (all codecs). In the steady state every
   /// block is a buffer_reuse (arenas are pre-reserved from the header
   /// bound), and scratch.lane_fanouts counts blocks whose sub-block
   /// lanes were decoded thread-parallel (the intra-block path taken for

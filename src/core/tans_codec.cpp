@@ -1,9 +1,12 @@
 #include "core/tans_codec.hpp"
 
+#include <atomic>
+#include <cstring>
 #include <vector>
 
 #include "ans/tans.hpp"
 #include "core/byte_codec.hpp"
+#include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 
 namespace gompresso::core {
@@ -91,69 +94,220 @@ Bytes encode_block_tans(const lz77::TokenBlock& block, const TansCodecConfig& co
   return out;
 }
 
+namespace {
+
+/// Accumulates up to four same-model stream-decode jobs and flushes them
+/// through the interleaved quad kernel. Stack-only, so lane decode stays
+/// allocation-free.
+struct StreamBatch {
+  const ans::Model& model;
+  ByteSpan streams[4];
+  std::uint8_t* outs[4] = {};
+  std::size_t counts[4] = {};
+  int n = 0;
+
+  explicit StreamBatch(const ans::Model& m) : model(m) {}
+
+  void push(ByteSpan stream, std::uint8_t* out, std::size_t count) {
+    streams[n] = stream;
+    outs[n] = out;
+    counts[n] = count;
+    if (++n == 4) flush();
+  }
+  void flush() {
+    ans::Model::decode_streams4(model, streams, outs, counts, n);
+    n = 0;
+  }
+};
+
+/// Decodes a contiguous range of sub-block lanes in three phases — record
+/// streams four lanes wide, literal streams four lanes wide, then the
+/// unpack + cross-check pass — so the tANS state chains of neighbouring
+/// lanes overlap in the out-of-order core (the warp-lane decomposition
+/// mapped onto CPU ILP). Returns the range's output byte count.
+std::uint64_t decode_tans_lanes(ByteSpan payload, const TansLaneLayout* lanes,
+                                std::size_t count, const ans::Model& record_model,
+                                const ans::Model& literal_model,
+                                lz77::TokenBlock& block, std::uint8_t* record_arena) {
+  const auto lane_record_out = [&](const TansLaneLayout& lane) {
+    return record_arena + std::size_t{lane.seq_base} * kByteRecordSize;
+  };
+
+  StreamBatch records(record_model);
+  for (std::size_t i = 0; i < count; ++i) {
+    const TansLaneLayout& lane = lanes[i];
+    records.push(payload.subspan(static_cast<std::size_t>(lane.record_offset),
+                                 static_cast<std::size_t>(lane.record_bytes)),
+                 lane_record_out(lane), std::size_t{lane.n_sequences} * kByteRecordSize);
+  }
+  records.flush();
+
+  StreamBatch literals(literal_model);
+  for (std::size_t i = 0; i < count; ++i) {
+    const TansLaneLayout& lane = lanes[i];
+    if (lane.n_literals == 0) continue;  // no stream was written for the lane
+    literals.push(payload.subspan(static_cast<std::size_t>(lane.literal_offset),
+                                  static_cast<std::size_t>(lane.literal_bytes)),
+                  block.literals.data() + lane.lit_base, lane.n_literals);
+  }
+  literals.flush();
+
+  // Unpack the decoded record words and cross-check each lane's
+  // record-derived literal count against the header's claim (the literal
+  // spans above were sized from that claim; a disagreement is corrupt).
+  std::uint64_t out_bytes = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const TansLaneLayout& lane = lanes[i];
+    const std::uint8_t* record_out = lane_record_out(lane);
+    lz77::Sequence* seq_out = block.sequences.data() + lane.seq_base;
+    std::uint64_t sub_lits = 0;
+    std::uint64_t match_bytes = 0;
+    for (std::uint32_t k = 0; k < lane.n_sequences; ++k) {
+      std::uint32_t word;
+      std::memcpy(&word, record_out + std::size_t{k} * kByteRecordSize, 4);  // LE hosts
+      const lz77::Sequence s = unpack_record(word);
+      sub_lits += s.literal_len;
+      match_bytes += s.match_len;
+      seq_out[k] = s;
+    }
+    check(sub_lits == lane.n_literals, "tans codec: literal count mismatch");
+    out_bytes += sub_lits + match_bytes;
+  }
+  return out_bytes;
+}
+
+}  // namespace
+
 lz77::TokenBlock decode_block_tans(ByteSpan payload, const TansCodecConfig& config) {
+  DecodeScratch scratch;
+  decode_block_tans(payload, config, scratch);
+  return std::move(scratch.block);
+}
+
+const lz77::TokenBlock& decode_block_tans(ByteSpan payload, const TansCodecConfig& config,
+                                          DecodeScratch& scratch, ThreadPool* lane_pool,
+                                          std::size_t max_output) {
   (void)config;  // models are self-describing; the config shapes encoding only
   std::size_t pos = 0;
   const std::uint64_t n_seq = get_varint(payload, pos);
   const std::uint64_t n_literals = get_varint(payload, pos);
   const std::uint64_t n_subblocks = get_varint(payload, pos);
   check(n_seq > 0, "tans codec: empty block");
+  // Lane output slots are 32-bit; a block's output size is uint32 too, so
+  // counts beyond that are corrupt and must not wrap the prefix sums.
+  check(n_seq <= 0xFFFFFFFFull && n_literals <= 0xFFFFFFFFull,
+        "tans codec: block counts exceed 32-bit bounds");
+  // Bound the claimed counts BEFORE any buffer is sized from them — tANS
+  // streams can legitimately pack many symbols per byte (0-bit symbols
+  // under a degenerate model), so unlike the byte codec there is no
+  // exact records-per-payload-byte bound. With the block's uncompressed
+  // size in hand the bounds are exact: a block emits at most max_output
+  // bytes and every non-terminator sequence emits at least min-match
+  // (3). Standalone decodes fall back to a generous payload-relative
+  // plausibility cap (64 Ki claimed symbols per payload byte) that still
+  // turns a ~30-byte allocation bomb into a clean Error instead of a
+  // std::bad_alloc from a multi-gigabyte resize.
+  if (max_output != 0) {
+    check(n_literals <= max_output, "tans codec: literal count exceeds block size");
+    check(n_seq <= max_output / 3 + 2, "tans codec: sequence count exceeds block size");
+  } else {
+    const std::uint64_t cap = static_cast<std::uint64_t>(payload.size()) << 16;
+    check(n_seq <= cap && n_literals <= cap,
+          "tans codec: block counts implausible for payload size");
+  }
   check(n_subblocks > 0 && n_subblocks <= n_seq, "tans codec: bad sub-block count");
+  // Each sub-block table entry takes at least 4 varint bytes, so a count
+  // that outruns the remaining payload is corrupt — reject it before the
+  // lane-table resize can be made to allocate gigabytes by a few crafted
+  // header bytes.
+  check(n_subblocks <= (payload.size() - pos) / 4,
+        "tans codec: sub-block count outruns payload");
 
-  const ans::Model record_model = ans::Model::deserialize(payload, pos);
-  ans::Model literal_model;
-  if (n_literals > 0) literal_model = ans::Model::deserialize(payload, pos);
+  const std::size_t record_raw_total = static_cast<std::size_t>(n_seq) * kByteRecordSize;
+  const bool buffers_fit =
+      scratch.tans_lanes.capacity() >= n_subblocks &&
+      scratch.block.sequences.capacity() >= n_seq &&
+      scratch.block.literals.capacity() >= n_literals &&
+      scratch.record_bytes.capacity() >= record_raw_total;
 
-  std::vector<SubblockInfo> table(static_cast<std::size_t>(n_subblocks));
+  // Rebuild the two shared models in the scratch's reusable storage
+  // (§III-B.1's shared-table idea with tANS state tables).
+  bool models_warm = scratch.record_model.deserialize_decode_into(payload, pos);
+  ++scratch.stats.table_builds;
+  if (n_literals > 0) {
+    models_warm &= scratch.literal_model.deserialize_decode_into(payload, pos);
+    ++scratch.stats.table_builds;
+  }
+
+  // Parse the sub-block table and derive every lane's stream extents and
+  // output slots via prefix sums — the header's whole purpose (§III-A).
+  scratch.tans_lanes.resize(static_cast<std::size_t>(n_subblocks));
   std::uint64_t seq_total = 0, lit_total = 0;
-  for (auto& info : table) {
-    info.n_sequences = static_cast<std::uint32_t>(get_varint(payload, pos));
-    info.n_literals = static_cast<std::uint32_t>(get_varint(payload, pos));
-    info.record_bytes = get_varint(payload, pos);
-    info.literal_bytes = get_varint(payload, pos);
-    seq_total += info.n_sequences;
-    lit_total += info.n_literals;
+  for (auto& lane : scratch.tans_lanes) {
+    const std::uint64_t ns = get_varint(payload, pos);
+    const std::uint64_t nl = get_varint(payload, pos);
+    // Reject before narrowing: a crafted 2^32 + k varint must not alias a
+    // small count (the u64 running totals can be made to agree with it).
+    check(ns <= 0xFFFFFFFFull && nl <= 0xFFFFFFFFull,
+          "tans codec: sub-block counts exceed 32-bit bounds");
+    lane.n_sequences = static_cast<std::uint32_t>(ns);
+    lane.n_literals = static_cast<std::uint32_t>(nl);
+    lane.record_bytes = get_varint(payload, pos);
+    lane.literal_bytes = get_varint(payload, pos);
+    lane.seq_base = static_cast<std::uint32_t>(seq_total);
+    lane.lit_base = static_cast<std::uint32_t>(lit_total);
+    seq_total += lane.n_sequences;
+    lit_total += lane.n_literals;
   }
   check(seq_total == n_seq, "tans codec: sub-block sequence counts disagree");
   check(lit_total == n_literals, "tans codec: sub-block literal counts disagree");
 
-  lz77::TokenBlock block;
+  // Locate every lane's streams. Each size is validated against the
+  // remaining payload on its own — summing sizes first wraps for crafted
+  // varints near 2^64 and would let the subspans read out of bounds.
+  std::size_t stream_pos = pos;
+  for (auto& lane : scratch.tans_lanes) {
+    check(lane.record_bytes <= payload.size() - stream_pos,
+          "tans codec: truncated record stream");
+    lane.record_offset = stream_pos;
+    stream_pos += static_cast<std::size_t>(lane.record_bytes);
+    check(lane.literal_bytes <= payload.size() - stream_pos,
+          "tans codec: truncated literal stream");
+    lane.literal_offset = stream_pos;
+    stream_pos += static_cast<std::size_t>(lane.literal_bytes);
+  }
+  check(stream_pos == payload.size(), "tans codec: trailing bytes in payload");
+
+  lz77::TokenBlock& block = scratch.block;
   block.sequences.resize(static_cast<std::size_t>(n_seq));
   block.literals.resize(static_cast<std::size_t>(n_literals));
+  scratch.record_bytes.resize(record_raw_total);
 
-  // Lane-parallel decode: every sub-block's streams and output slots are
-  // known up front, so lanes are independent (executed as a loop here).
-  std::size_t seq_base = 0;
-  std::size_t lit_base = 0;
-  for (const auto& info : table) {
-    check(pos + info.record_bytes + info.literal_bytes <= payload.size(),
-          "tans codec: truncated streams");
-    const Bytes raw_records = record_model.decode_stream(
-        payload.subspan(pos, static_cast<std::size_t>(info.record_bytes)),
-        info.n_sequences * kByteRecordSize);
-    pos += static_cast<std::size_t>(info.record_bytes);
-    std::size_t rp = 0;
-    for (std::uint32_t k = 0; k < info.n_sequences; ++k) {
-      block.sequences[seq_base + k] = unpack_record(get_u32le(raw_records, rp));
-    }
-    std::uint64_t sub_lits = 0;
-    for (std::uint32_t k = 0; k < info.n_sequences; ++k) {
-      sub_lits += block.sequences[seq_base + k].literal_len;
-    }
-    check(sub_lits == info.n_literals, "tans codec: literal count mismatch");
-    if (info.n_literals != 0) {
-      const Bytes lits = literal_model.decode_stream(
-          payload.subspan(pos, static_cast<std::size_t>(info.literal_bytes)),
-          info.n_literals);
-      std::copy(lits.begin(), lits.end(),
-                block.literals.begin() + static_cast<std::ptrdiff_t>(lit_base));
-    }
-    pos += static_cast<std::size_t>(info.literal_bytes);
-    seq_base += info.n_sequences;
-    lit_base += info.n_literals;
+  // Each lane's streams and output slots are known up front, so lanes are
+  // independent; with a lane pool they run on real threads (the paper's
+  // intra-block parallelism), otherwise lock-step-equivalently in a loop.
+  std::atomic<std::uint64_t> out_bytes{0};
+  auto decode_lanes = [&](std::size_t begin, std::size_t end) {
+    const std::uint64_t local = decode_tans_lanes(
+        payload, scratch.tans_lanes.data() + begin, end - begin, scratch.record_model,
+        scratch.literal_model, block, scratch.record_bytes.data());
+    out_bytes.fetch_add(local, std::memory_order_relaxed);
+  };
+  if (lane_pool != nullptr && n_subblocks > 1) {
+    const std::size_t grain = std::max<std::size_t>(
+        1, static_cast<std::size_t>(n_subblocks) / (4 * lane_pool->parallelism()));
+    lane_pool->parallel_for_chunked(static_cast<std::size_t>(n_subblocks), grain,
+                                    decode_lanes);
+    ++scratch.stats.lane_fanouts;
+  } else {
+    decode_lanes(0, static_cast<std::size_t>(n_subblocks));
   }
-  check(pos == payload.size(), "tans codec: trailing bytes in payload");
-  block.uncompressed_size = block.computed_size();
+  const std::uint64_t total = out_bytes.load();
+  check(total <= 0xFFFFFFFFull, "tans codec: block too large");
+  block.uncompressed_size = static_cast<std::uint32_t>(total);
+
+  ++scratch.stats.blocks;
+  if (buffers_fit && models_warm) ++scratch.stats.buffer_reuses;
   return block;
 }
 

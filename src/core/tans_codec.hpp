@@ -26,8 +26,13 @@
 // match <= 65, literal runs split at 8191).
 #pragma once
 
+#include "core/decode_scratch.hpp"
 #include "lz77/sequence.hpp"
 #include "util/common.hpp"
+
+namespace gompresso {
+class ThreadPool;
+}
 
 namespace gompresso::core {
 
@@ -42,6 +47,25 @@ Bytes encode_block_tans(const lz77::TokenBlock& block, const TansCodecConfig& co
 
 /// Decodes a payload back into sequences + literals; each sub-block is an
 /// independent lane's work. Throws gompresso::Error on corrupt payloads.
+/// Convenience wrapper around the scratch-arena overload below.
 lz77::TokenBlock decode_block_tans(ByteSpan payload, const TansCodecConfig& config);
+
+/// Zero-allocation fast path: rebuilds the two shared models in
+/// `scratch`'s reusable storage, decodes every lane's record stream into
+/// the scratch record arena and its literals straight into the token
+/// block, and returns a reference to scratch.block (valid until the next
+/// decode with the same scratch). When `lane_pool` is non-null and the
+/// block has more than one sub-block, the independent lanes are fanned
+/// out across the pool exactly like decode_block_bit's — pass it only
+/// when the caller is not itself running block-parallel work.
+/// `max_output`, when non-zero, is the block's known uncompressed size
+/// (the container always has it): claimed counts are bounded against it
+/// *before* any buffer is sized, so a crafted header cannot stage
+/// gigabytes. Without it a generous payload-relative plausibility cap
+/// applies instead.
+const lz77::TokenBlock& decode_block_tans(ByteSpan payload, const TansCodecConfig& config,
+                                          DecodeScratch& scratch,
+                                          ThreadPool* lane_pool = nullptr,
+                                          std::size_t max_output = 0);
 
 }  // namespace gompresso::core

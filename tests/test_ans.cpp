@@ -6,6 +6,7 @@
 #include "ans/tans.hpp"
 #include "datagen/datasets.hpp"
 #include "util/rng.hpp"
+#include "util/varint.hpp"
 
 namespace gompresso::ans {
 namespace {
@@ -138,6 +139,100 @@ TEST(Tans, TruncatedPayloadThrows) {
 TEST(Tans, RejectsBadTableLog) {
   EXPECT_THROW(encode(Bytes(10, 'a'), 3), Error);
   EXPECT_THROW(encode(Bytes(10, 'a'), 20), Error);
+}
+
+TEST(TansModelFastPath, DecodeIntoMatchesDecodeStream) {
+  const Bytes data = datagen::wikipedia(30000);
+  std::vector<std::uint64_t> freqs(256, 0);
+  for (const auto b : data) ++freqs[b];
+  const Model model = Model::from_frequencies(freqs, 11);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                              std::size_t{4}, std::size_t{7}, std::size_t{4096}}) {
+    const ByteSpan piece(data.data(), n);
+    const Bytes stream = model.encode_stream(piece);
+    Bytes out(n, 0xEE);
+    model.decode_stream_into(stream, out);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), piece.begin())) << "n=" << n;
+  }
+}
+
+TEST(TansModelFastPath, QuadBatchMatchesSingleStreamDecode) {
+  const Bytes data = datagen::wikipedia(60000);
+  std::vector<std::uint64_t> freqs(256, 0);
+  for (const auto b : data) ++freqs[b];
+  const Model model = Model::from_frequencies(freqs, 11);
+
+  // Deliberately skewed counts so the interleaved kernel's tails and the
+  // sub-width remainder path both run.
+  const std::size_t counts[4] = {1000, 3, 0, 777};
+  Bytes streams_store[4];
+  ByteSpan streams[4];
+  Bytes outs_store[4];
+  std::uint8_t* outs[4];
+  std::size_t at = 0;
+  for (int i = 0; i < 4; ++i) {
+    streams_store[i] = model.encode_stream(ByteSpan(data.data() + at, counts[i]));
+    streams[i] = streams_store[i];
+    outs_store[i].assign(counts[i], 0xEE);
+    outs[i] = outs_store[i].data();
+    at += counts[i];
+  }
+  for (const int width : {4, 2, 0}) {
+    Model::decode_streams4(model, streams, outs, counts, width);
+    at = 0;
+    for (int i = 0; i < width; ++i) {
+      EXPECT_TRUE(std::equal(outs_store[i].begin(), outs_store[i].end(),
+                             data.begin() + static_cast<std::ptrdiff_t>(at)))
+          << "width=" << width << " stream " << i;
+      at += counts[i];
+    }
+  }
+  EXPECT_THROW(Model::decode_streams4(model, streams, outs, counts, 5), Error);
+}
+
+TEST(TansModelFastPath, DeserializeDecodeIntoReusesBuffers) {
+  std::vector<std::uint64_t> freqs(256, 0);
+  freqs['a'] = 900;
+  freqs['b'] = 90;
+  freqs['c'] = 9;
+  const Model original = Model::from_frequencies(freqs, 10);
+  Bytes buf;
+  original.serialize(buf);
+  const Bytes msg = {'a', 'b', 'a', 'c', 'a', 'a', 'b'};
+  const Bytes stream = original.encode_stream(msg);
+
+  Model scratch;
+  std::size_t pos = 0;
+  EXPECT_FALSE(scratch.deserialize_decode_into(buf, pos));  // cold: buffers grew
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(scratch.table_log(), 10u);
+  EXPECT_EQ(scratch.decode_stream(stream, msg.size()), msg);
+  // A decode-only model must refuse to encode rather than crash.
+  EXPECT_THROW(scratch.encode_stream(msg), Error);
+
+  pos = 0;
+  EXPECT_TRUE(scratch.deserialize_decode_into(buf, pos));  // warm: pure reuse
+  EXPECT_EQ(scratch.decode_stream(stream, msg.size()), msg);
+
+  Model reserved;
+  reserved.reserve_decode(kMaxTableLog);
+  pos = 0;
+  EXPECT_TRUE(reserved.deserialize_decode_into(buf, pos));  // pre-sized: no growth
+  EXPECT_EQ(reserved.decode_stream(stream, msg.size()), msg);
+}
+
+TEST(TansModelFastPath, WrappingInnerStreamSizeRejected) {
+  // A stream whose embedded byte-size varint sits near 2^64 must not wrap
+  // the truncation check and read out of bounds.
+  std::vector<std::uint64_t> freqs(256, 0);
+  freqs['x'] = 3;
+  freqs['y'] = 1;
+  const Model model = Model::from_frequencies(freqs, 9);
+  Bytes evil;
+  put_varint(evil, 512);                      // valid start state for 2^9 tables
+  put_varint(evil, 0xFFFFFFFFFFFFFFF0ull);    // stream_bytes wraps pos + size
+  evil.push_back(0);
+  EXPECT_THROW(model.decode_stream(evil, 4), Error);
 }
 
 }  // namespace

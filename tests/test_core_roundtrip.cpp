@@ -184,23 +184,50 @@ TEST(Options, StrategyNames) {
 TEST(IntraBlock, SingleBlockScalesAcrossSubblocks) {
   // One block, many threads: decompression must take the intra-block
   // path (sub-block lanes fanned out across the pool) and produce the
-  // same bytes as the serial path.
+  // same bytes as the serial path — for every codec, since the tans and
+  // byte codecs ride the same lane-pool path as the bit codec.
   const Bytes input = datagen::wikipedia(300000);
-  CompressOptions opt;
-  opt.codec = Codec::kBit;
-  opt.block_size = 512 * 1024;  // > input: exactly one block
-  const Bytes file = compress(input, opt);
+  for (const Codec codec : {Codec::kBit, Codec::kTans, Codec::kByte}) {
+    CompressOptions opt;
+    opt.codec = codec;
+    opt.block_size = 512 * 1024;  // > input: exactly one block
+    const Bytes file = compress(input, opt);
 
-  DecompressOptions dopt;
-  dopt.num_threads = 4;
-  const DecompressResult parallel = decompress(file, dopt);
-  EXPECT_EQ(parallel.data, input);
-  EXPECT_EQ(parallel.scratch.lane_fanouts, 1u) << "single block + 4 threads must fan out lanes";
+    DecompressOptions dopt;
+    dopt.num_threads = 4;
+    const DecompressResult parallel = decompress(file, dopt);
+    EXPECT_EQ(parallel.data, input);
+    EXPECT_EQ(parallel.scratch.lane_fanouts, 1u)
+        << "codec " << static_cast<int>(codec)
+        << ": single block + 4 threads must fan out lanes";
 
-  dopt.num_threads = 1;
-  const DecompressResult serial = decompress(file, dopt);
-  EXPECT_EQ(serial.data, input);
-  EXPECT_EQ(serial.scratch.lane_fanouts, 0u);
+    dopt.num_threads = 1;
+    const DecompressResult serial = decompress(file, dopt);
+    EXPECT_EQ(serial.data, input);
+    EXPECT_EQ(serial.scratch.lane_fanouts, 0u);
+  }
+}
+
+TEST(IntraBlock, ByteCodecFanOutDeterminismAcrossCorpora) {
+  // 1T vs NT byte-equality for the byte codec on every datagen corpus
+  // (the tans twin lives in test_tans_codec).
+  for (const int which : {0, 1, 2}) {
+    const Bytes input = dataset(which, 200000);
+    for (const std::uint32_t block_size : {512u * 1024u, 48u * 1024u}) {
+      CompressOptions opt;
+      opt.codec = Codec::kByte;
+      opt.block_size = block_size;
+      const Bytes file = compress(input, opt);
+      DecompressOptions one;
+      one.num_threads = 1;
+      DecompressOptions many;
+      many.num_threads = 4;
+      const DecompressResult serial = decompress(file, one);
+      const DecompressResult parallel = decompress(file, many);
+      ASSERT_EQ(serial.data, input) << which << "/" << block_size;
+      ASSERT_EQ(parallel.data, input) << which << "/" << block_size;
+    }
+  }
 }
 
 TEST(IntraBlock, EmptyInputDecompressesOnAnyThreadCount) {
@@ -253,6 +280,31 @@ TEST(Scratch, SteadyStateDecodeAllocatesNothing) {
   EXPECT_EQ(r.scratch.buffer_reuses, 8u);  // pre-reserved: no block grew
   EXPECT_EQ(r.scratch.table_builds, 1u);
   EXPECT_EQ(r.scratch.table_reuses, 7u);
+}
+
+TEST(Scratch, TansAndByteSteadyStateDecodeAllocatesNothing) {
+  // The tans and byte codecs ride the same pre-reserved arena: every
+  // block of a file must be a buffer reuse, from the first one on.
+  const Bytes tile = datagen::wikipedia(64 * 1024);
+  Bytes input;
+  for (int i = 0; i < 8; ++i) input.insert(input.end(), tile.begin(), tile.end());
+  for (const Codec codec : {Codec::kTans, Codec::kByte}) {
+    CompressOptions opt;
+    opt.codec = codec;
+    opt.block_size = 64 * 1024;
+    const Bytes file = compress(input, opt);
+
+    DecompressOptions dopt;
+    dopt.num_threads = 1;
+    const DecompressResult r = decompress(file, dopt);
+    EXPECT_EQ(r.data, input);
+    EXPECT_EQ(r.scratch.blocks, 8u) << static_cast<int>(codec);
+    EXPECT_EQ(r.scratch.buffer_reuses, 8u) << static_cast<int>(codec);
+    if (codec == Codec::kTans) {
+      // Two shared models rebuilt per block, in reused storage.
+      EXPECT_EQ(r.scratch.table_builds, 16u);
+    }
+  }
 }
 
 TEST(Metrics, DecompressionReportsWarpActivity) {
