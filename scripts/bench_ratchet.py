@@ -1,18 +1,21 @@
 #!/usr/bin/env python3
 """Benchmark ratchet: fail CI on a >10% median regression.
 
-Compares a freshly emitted BENCH_decode.json against the committed
-baseline (bench/baselines/). Absolute MB/s is machine-dependent, so each
-entry is first normalized by a reference entry measured in the *same*
-run — the compiled-in legacy decoder (pipeline/bit/DE/legacy-v0) — which
-cancels the host's single-thread speed. What the ratchet then compares
-across commits is "speedup over the legacy reference", a
-machine-portable number.
+Compares a freshly emitted BENCH_*.json against its committed baseline
+(bench/baselines/). Absolute MB/s is machine-dependent, so each entry is
+first normalized by a reference entry measured in the *same* run — a
+compiled-in legacy implementation — which cancels the host's
+single-thread speed. What the ratchet then compares across commits is
+"speedup over the legacy reference", a machine-portable number.
+
+Two trajectories are ratcheted in CI:
+  decode: BENCH_decode.json, ref pipeline/bit/DE/legacy-v0 (the default)
+  encode: BENCH_encode.json, ref compress/bit/legacy-v0
 
 A single entry can still be noisy on shared runners, so the gate is the
 *median* relative change across all baseline entries (the satellite's
 ">10% median regression" rule): half the suite has to get slower before
-the ratchet trips.
+the ratchet trips. Failures name the per-entry offenders, worst first.
 
 Usage: bench_ratchet.py <baseline.json> <current.json>
            [--threshold 0.10] [--ref pipeline/bit/DE/legacy-v0]

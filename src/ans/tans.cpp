@@ -37,17 +37,22 @@ void spread_symbols_into(const std::vector<std::uint32_t>& norm, unsigned table_
 
 }  // namespace
 
-std::vector<std::uint32_t> normalize_frequencies(const std::vector<std::uint64_t>& freqs,
-                                                 unsigned table_log) {
-  const std::uint64_t total = std::accumulate(freqs.begin(), freqs.end(), std::uint64_t{0});
-  std::vector<std::uint32_t> norm(freqs.size(), 0);
-  if (total == 0) return norm;
+namespace {
+
+/// The normalization core, writing into caller storage. `norm` must hold
+/// `count` zero-initialised entries; `remainders` must hold `count`
+/// slots. Results are identical to the original heap-returning wrapper.
+void normalize_frequencies_core(const std::uint64_t* freqs, std::size_t count,
+                                unsigned table_log, std::uint32_t* norm,
+                                std::pair<double, std::uint32_t>* remainders) {
+  const std::uint64_t total = std::accumulate(freqs, freqs + count, std::uint64_t{0});
+  if (total == 0) return;
   const std::uint64_t target = 1ull << table_log;
 
   // First pass: proportional share, at least 1 for present symbols.
   std::uint64_t assigned = 0;
-  std::vector<std::pair<double, std::size_t>> remainders;
-  for (std::size_t s = 0; s < freqs.size(); ++s) {
+  std::size_t n_rem = 0;
+  for (std::size_t s = 0; s < count; ++s) {
     if (freqs[s] == 0) continue;
     const double exact = static_cast<double>(freqs[s]) * static_cast<double>(target) /
                          static_cast<double>(total);
@@ -55,28 +60,39 @@ std::vector<std::uint32_t> normalize_frequencies(const std::vector<std::uint64_t
     if (n == 0) n = 1;
     norm[s] = n;
     assigned += n;
-    remainders.emplace_back(exact - static_cast<double>(n), s);
+    remainders[n_rem++] = {exact - static_cast<double>(n),
+                           static_cast<std::uint32_t>(s)};
   }
   // Distribute the remainder to the symbols with the largest fractional
   // parts (or shave from the largest counts when over-assigned).
-  std::sort(remainders.begin(), remainders.end(),
+  std::sort(remainders, remainders + n_rem,
             [](const auto& a, const auto& b) { return a.first > b.first; });
   std::size_t i = 0;
   while (assigned < target) {
-    norm[remainders[i % remainders.size()].second] += 1;
+    norm[remainders[i % n_rem].second] += 1;
     ++assigned;
     ++i;
   }
   while (assigned > target) {
     // Shave the largest normalized count that stays >= 1.
-    std::size_t best = kAlphabet;
-    for (std::size_t s = 0; s < norm.size(); ++s) {
-      if (norm[s] > 1 && (best == kAlphabet || norm[s] > norm[best])) best = s;
+    std::size_t best = count;
+    for (std::size_t s = 0; s < count; ++s) {
+      if (norm[s] > 1 && (best == count || norm[s] > norm[best])) best = s;
     }
-    check(best != kAlphabet, "tans: cannot normalize (too many symbols for table)");
+    check(best != count, "tans: cannot normalize (too many symbols for table)");
     norm[best] -= 1;
     --assigned;
   }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> normalize_frequencies(const std::vector<std::uint64_t>& freqs,
+                                                 unsigned table_log) {
+  std::vector<std::uint32_t> norm(freqs.size(), 0);
+  std::vector<std::pair<double, std::uint32_t>> remainders(freqs.size());
+  normalize_frequencies_core(freqs.data(), freqs.size(), table_log, norm.data(),
+                             remainders.data());
   return norm;
 }
 
@@ -138,6 +154,40 @@ void Model::reserve_decode(unsigned table_log) {
   check(table_log >= kMinTableLog && table_log <= kMaxTableLog,
         "tans: table_log out of [9, 14]");
   norm_.reserve(kAlphabet);
+  dec_table_.reserve(std::size_t{1} << table_log);
+}
+
+bool Model::build_encode_into(const std::vector<std::uint64_t>& freqs,
+                              unsigned table_log) {
+  check(table_log >= kMinTableLog && table_log <= kMaxTableLog,
+        "tans: table_log out of [9, 14]");
+  check(freqs.size() <= kAlphabet, "tans: alphabet too large");
+  const std::size_t table_size = std::size_t{1} << table_log;
+  const bool warm = norm_.capacity() >= kAlphabet &&
+                    enc_offset_.capacity() >= kAlphabet + 1 &&
+                    enc_next_state_.capacity() >= table_size &&
+                    dec_table_.capacity() >= table_size;
+  table_log_ = table_log;
+  // Stack staging (padded counts + remainder slots) keeps the rebuild
+  // heap-free; the normalization is identical to from_frequencies.
+  std::uint64_t padded[kAlphabet] = {};
+  std::copy(freqs.begin(), freqs.end(), padded);
+  std::pair<double, std::uint32_t> remainders[kAlphabet];
+  norm_.assign(kAlphabet, 0);
+  normalize_frequencies_core(padded, kAlphabet, table_log, norm_.data(), remainders);
+  check(std::accumulate(norm_.begin(), norm_.end(), std::uint64_t{0}) ==
+            (1ull << table_log),
+        "tans: empty model");
+  build_tables(/*build_encoder=*/true);
+  return warm;
+}
+
+void Model::reserve_encode(unsigned table_log) {
+  check(table_log >= kMinTableLog && table_log <= kMaxTableLog,
+        "tans: table_log out of [9, 14]");
+  norm_.reserve(kAlphabet);
+  enc_offset_.reserve(kAlphabet + 1);
+  enc_next_state_.reserve(std::size_t{1} << table_log);
   dec_table_.reserve(std::size_t{1} << table_log);
 }
 
@@ -222,6 +272,37 @@ Bytes Model::encode_stream(ByteSpan data) const {
   put_varint(out, stream.size());
   out.insert(out.end(), stream.begin(), stream.end());
   return out;
+}
+
+void Model::encode_stream_into(ByteSpan data, Bytes& out,
+                               EncodeStreamWorkspace& ws) const {
+  check(valid(), "tans: encoding with an empty model");
+  check(!enc_next_state_.empty(), "tans: model lacks encoder tables (decode-only)");
+  const std::size_t table_size = std::size_t{1} << table_log_;
+
+  // Encode in reverse; bits are stacked and replayed forward so the
+  // decoder can read the stream front to back. Identical to
+  // encode_stream, staging through the reusable workspace.
+  auto& bit_stack = ws.bit_stack;
+  bit_stack.clear();
+  std::uint32_t state = static_cast<std::uint32_t>(table_size);
+  for (std::size_t i = data.size(); i-- > 0;) {
+    const std::uint8_t s = data[i];
+    const std::uint32_t f = norm_[s];
+    check(f != 0, "tans: symbol absent from shared model");
+    unsigned nb = 0;
+    while ((state >> nb) >= 2 * f) ++nb;
+    bit_stack.emplace_back(state & ((1u << nb) - 1), static_cast<std::uint8_t>(nb));
+    state = enc_next_state_[enc_offset_[s] + (state >> nb) - f];
+  }
+
+  put_varint(out, state);
+  auto& bits = ws.bits;
+  for (std::size_t i = bit_stack.size(); i-- > 0;) {
+    bits.write(bit_stack[i].first, bit_stack[i].second);
+  }
+  put_varint(out, (bits.bit_count() + 7) / 8);
+  bits.flush_into(out);
 }
 
 Bytes Model::decode_stream(ByteSpan stream, std::size_t count) const {

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "bitstream/bit_writer.hpp"
 #include "util/common.hpp"
 
 namespace gompresso::ans {
@@ -42,6 +44,19 @@ Bytes decode(ByteSpan payload);
 /// testing. Returns an all-zero vector when `total` is 0.
 std::vector<std::uint32_t> normalize_frequencies(const std::vector<std::uint64_t>& freqs,
                                                  unsigned table_log);
+
+/// Reusable storage for Model::encode_stream_into: the reversed-bit stack
+/// and the stream bit writer, both reused across streams so steady-state
+/// encoding performs no heap allocation. reserve() pre-sizes for streams
+/// of up to `max_symbols` input bytes.
+struct EncodeStreamWorkspace {
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> bit_stack;
+  BitWriter bits;
+  void reserve(std::size_t max_symbols) {
+    bit_stack.reserve(max_symbols);
+    bits.reserve(max_symbols * 2 + 16);  // <= ~table_log bits per symbol
+  }
+};
 
 /// A shared tANS model: one normalized distribution serving many
 /// independently decodable streams. This mirrors Gompresso's shared-table
@@ -77,10 +92,26 @@ class Model {
   /// every later deserialize_decode_into is allocation-free.
   void reserve_decode(unsigned table_log);
 
+  /// In-place variant of from_frequencies for the encode hot path:
+  /// rebuilds this model (encoder + decoder tables) reusing the existing
+  /// table storage, so per-block model builds are allocation-free once
+  /// the buffers are warm (see reserve_encode). Identical normalization
+  /// and tables to from_frequencies. Returns true when no internal
+  /// buffer had to grow (the steady-state reuse signal).
+  bool build_encode_into(const std::vector<std::uint64_t>& freqs, unsigned table_log);
+
+  /// Pre-sizes every buffer build_encode_into touches for tables up to
+  /// `table_log`, so later rebuilds are allocation-free.
+  void reserve_encode(unsigned table_log);
+
   /// Encodes one stream with this model (the stream embeds only its
   /// final state and bit payload — the model is shared externally).
   /// Every symbol of `data` must be present in the model.
   Bytes encode_stream(ByteSpan data) const;
+
+  /// Appending, allocation-free variant of encode_stream: produces the
+  /// identical stream bytes at the end of `out`, staging through `ws`.
+  void encode_stream_into(ByteSpan data, Bytes& out, EncodeStreamWorkspace& ws) const;
 
   /// Decodes a stream of `count` symbols produced by encode_stream.
   Bytes decode_stream(ByteSpan stream, std::size_t count) const;

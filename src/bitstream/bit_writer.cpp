@@ -22,10 +22,24 @@ void BitWriter::flush_full_bytes() {
 void BitWriter::write(std::uint64_t value, unsigned nbits) {
   assert(nbits <= 57);
   assert(nbits == 64 || (value >> nbits) == 0);
+  assert(cursor_ == 0);  // no checked writes inside an unchecked run
   acc_ |= value << acc_bits_;
   acc_bits_ += nbits;
   total_bits_ += nbits;
   flush_full_bytes();
+}
+
+void BitWriter::begin_run(std::uint64_t max_bits) {
+  assert(cursor_ == 0);
+  // write_unchecked stores 8 bytes at the cursor unconditionally, so the
+  // reservation needs the bit budget plus one store of slack.
+  cursor_ = buf_.size();
+  buf_.resize(cursor_ + static_cast<std::size_t>(max_bits / 8) + 16);
+}
+
+void BitWriter::end_run() {
+  buf_.resize(cursor_);  // drop the slack; pending bits stay in acc_
+  cursor_ = 0;
 }
 
 void BitWriter::align_to_byte() {
@@ -34,6 +48,7 @@ void BitWriter::align_to_byte() {
 }
 
 Bytes BitWriter::finish() {
+  assert(cursor_ == 0);
   if (acc_bits_ > 0) {
     buf_.push_back(static_cast<std::uint8_t>(acc_));
     acc_ = 0;
@@ -43,6 +58,42 @@ Bytes BitWriter::finish() {
   Bytes out;
   out.swap(buf_);
   return out;
+}
+
+void BitWriter::flush_into(Bytes& out) {
+  assert(cursor_ == 0);
+  if (acc_bits_ > 0) {
+    buf_.push_back(static_cast<std::uint8_t>(acc_));
+    acc_ = 0;
+    acc_bits_ = 0;
+  }
+  total_bits_ = 0;
+  out.insert(out.end(), buf_.begin(), buf_.end());
+  buf_.clear();  // keeps capacity for the next block
+}
+
+void BitWriter::append_bits(ByteSpan bytes, std::uint64_t nbits) {
+  assert(nbits <= 8 * static_cast<std::uint64_t>(bytes.size()));
+  // 32-bit chunks through the checked path: the source has a whole 4-byte
+  // word wherever 32 more bits are due, so the loads stay in bounds.
+  std::uint64_t off = 0;
+  const std::uint8_t* src = bytes.data();
+  while (off + 32 <= nbits) {
+    std::uint32_t word;
+    std::memcpy(&word, src + off / 8, 4);  // little-endian hosts
+    write(word, 32);
+    off += 32;
+  }
+  if (off < nbits) {
+    const unsigned rem = static_cast<unsigned>(nbits - off);
+    std::uint64_t word = 0;
+    const std::size_t first = static_cast<std::size_t>(off / 8);
+    const std::size_t last = static_cast<std::size_t>((nbits + 7) / 8);
+    for (std::size_t i = first; i < last; ++i) {
+      word |= static_cast<std::uint64_t>(src[i]) << (8 * (i - first));
+    }
+    write(word & ((std::uint64_t{1} << rem) - 1), rem);
+  }
 }
 
 }  // namespace gompresso

@@ -4,9 +4,29 @@
 // sub-block's compressed size in bits is recorded in the block header so
 // decoder lanes can seek to arbitrary bit offsets (paper §III-A). The
 // writer therefore tracks an exact bit position.
+//
+// Two write paths are provided, symmetric to BitReader's checked reads and
+// peek/consume_unchecked pair:
+//
+//   * write() — the checked path: every call spills completed bytes into
+//     the buffer with an amortised vector append. Any number of bits up to
+//     the 57-bit limit (see below) per call, no setup required.
+//   * begin_run()/write_unchecked()/end_run() — the hot path: begin_run()
+//     reserves an upper bound up front, after which each write_unchecked()
+//     is a branch-free shift/or plus one unconditional 8-byte store
+//     (zstd's BIT_addBits/BIT_flushBits collapsed into one step). The
+//     fused-emit encoder reserves a per-block worst case and emits whole
+//     token sequences this way.
+//
+// The 57-bit limit: both paths maintain the invariant that at most 7 bits
+// are pending in the 64-bit accumulator between calls, so a single call
+// may append up to 64 - 7 = 57 bits. Fused emit entries exploit this:
+// a worst-case match token (15-bit length code + 5 extra + 15-bit
+// distance code + 13 extra = 48 bits) still fits in one call.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "util/common.hpp"
 
@@ -28,18 +48,61 @@ class BitWriter {
   void align_to_byte();
 
   /// Flushes any partial byte and returns the finished buffer.
-  /// The writer is left empty and reusable.
+  /// The writer is left empty and reusable — but note the returned
+  /// buffer's storage moves out with it; use flush_into() when the
+  /// writer's capacity should survive for the next block.
   Bytes finish();
 
-  /// Appends the pending bits of another writer's finished buffer is not
-  /// supported; instead sub-block streams are written through a single
-  /// writer sequentially. This helper asserts the invariant in debug mode.
+  /// Flushes any partial byte (zero-padded) and appends the finished
+  /// stream to `out`, then resets the writer *keeping its buffer
+  /// capacity* — the reuse-friendly alternative to finish() for
+  /// per-worker scratch writers.
+  void flush_into(Bytes& out);
+
+  /// Pre-reserves buffer capacity for `bytes` of output (checked path).
   void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
+  /// Current buffer capacity (scratch-reuse accounting).
+  std::size_t capacity() const { return buf_.capacity(); }
+
+  /// Begins an unchecked run: guarantees room for `max_bits` more bits so
+  /// every write_unchecked() until end_run() can skip capacity checks.
+  /// Checked write() calls must not be interleaved with a run.
+  void begin_run(std::uint64_t max_bits);
+
+  /// Appends the low `nbits` bits of `value` (0 <= nbits <= 57) with no
+  /// capacity check: one shift/or plus one unconditional 8-byte store.
+  /// Only valid inside a begin_run()/end_run() window, within the
+  /// reserved bit budget.
+  void write_unchecked(std::uint64_t value, unsigned nbits) {
+    acc_ |= value << acc_bits_;
+    acc_bits_ += nbits;
+    total_bits_ += nbits;
+    // Spill every completed byte with one unconditional 8-byte store
+    // (little-endian hosts, same as flush_full_bytes); the partial byte,
+    // if any, is simply re-written by the next call.
+    std::memcpy(buf_.data() + cursor_, &acc_, 8);
+    const unsigned nbytes = acc_bits_ >> 3;
+    cursor_ += nbytes;
+    acc_ = nbytes == 8 ? 0 : acc_ >> (8 * nbytes);
+    acc_bits_ &= 7;
+  }
+
+  /// Ends an unchecked run, trimming the reservation slack. The writer is
+  /// back in the checked state (partial bits stay pending).
+  void end_run();
+
+  /// Appends `nbits` bits from `bytes` (LSB-first packed, as produced by
+  /// another writer's finish()/flush_into()). This is the bit-granular
+  /// splice used to concatenate independently encoded sub-block lane
+  /// streams into one block stream.
+  void append_bits(ByteSpan bytes, std::uint64_t nbits);
 
  private:
   void flush_full_bytes();
 
   Bytes buf_;
+  std::size_t cursor_ = 0;      // unchecked-run write position in buf_
   std::uint64_t acc_ = 0;       // pending bits, LSB-first
   unsigned acc_bits_ = 0;       // number of valid bits in acc_
   std::uint64_t total_bits_ = 0;

@@ -1,0 +1,17 @@
+// Gompresso/Bit symbol alphabets (DEFLATE-style), shared by the encode
+// and decode table builders. Kept in a leaf header so the fused emit
+// tables (core/encode_tables) and the codec interface (core/bit_codec)
+// can both use them without an include cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gompresso::core {
+
+inline constexpr std::size_t kLitLenAlphabet = 286;  // 256 lit + END + 29 lengths
+inline constexpr std::size_t kOffsetAlphabet = 30;
+inline constexpr std::uint16_t kEndSymbol = 256;
+inline constexpr std::uint16_t kFirstLengthSymbol = 257;
+
+}  // namespace gompresso::core

@@ -5,9 +5,8 @@
 #include "bitstream/bit_reader.hpp"
 #include "bitstream/bit_writer.hpp"
 #include "core/decode_tables.hpp"
+#include "core/encode_tables.hpp"
 #include "huffman/code_builder.hpp"
-#include "huffman/decoder.hpp"
-#include "huffman/encoder.hpp"
 #include "huffman/histogram.hpp"
 #include "huffman/serial.hpp"
 #include "lz77/deflate_tables.hpp"
@@ -15,102 +14,189 @@
 #include "util/varint.hpp"
 
 namespace gompresso::core {
-namespace {
-
-struct SubblockInfo {
-  std::uint64_t bits = 0;
-  std::uint32_t n_sequences = 0;
-  std::uint32_t n_literals = 0;
-};
-
-}  // namespace
 
 std::size_t decode_tables_footprint(unsigned codeword_limit) {
   // Two tables of 2^CWL entries, one packed uint32 each.
   return 2 * (std::size_t{1} << codeword_limit) * 4;
 }
 
-Bytes encode_block_bit(const lz77::TokenBlock& block, const BitCodecConfig& config) {
+namespace {
+
+/// Worst-case emitted bits for a span of tokens: every literal/END code
+/// is bounded by the 15-bit CWL cap, every match token by 48 bits (see
+/// FusedEmitTables). Used to reserve BitWriter unchecked runs.
+std::uint64_t emit_bits_bound(std::uint64_t n_literals, std::uint64_t n_sequences) {
+  return 15 * n_literals + 48 * n_sequences + 64;
+}
+
+/// Emits sequences [seq_begin, seq_end) through the fused tables into
+/// `w`, one sub-block at a time (sub-block boundaries are global: the
+/// first sub-block of the range starts at seq_begin, which callers align
+/// to tokens_per_subblock). Fills table[0..] with per-sub-block sizes.
+/// `lit` points at the range's first literal byte; `span_lits` is the
+/// range's total literal count (callers already have it).
+void emit_subblocks(const lz77::TokenBlock& block, std::size_t seq_begin,
+                    std::size_t seq_end, const std::uint8_t* lit,
+                    std::uint64_t span_lits, std::size_t tokens_per_subblock,
+                    const FusedEmitTables& emit, BitWriter& w, SubblockEnc* table) {
+  w.begin_run(emit_bits_bound(span_lits, seq_end - seq_begin));
+  std::size_t seq_index = seq_begin;
+  while (seq_index < seq_end) {
+    SubblockEnc info;
+    const std::uint64_t start_bits = w.bit_count();
+    const std::size_t count =
+        std::min<std::size_t>(tokens_per_subblock, seq_end - seq_index);
+    for (std::size_t k = 0; k < count; ++k) {
+      const lz77::Sequence& s = block.sequences[seq_index + k];
+      // Literal run: pack as many codes as fit the 57-bit write limit
+      // into one unchecked write (>= 3 at the worst-case 15-bit CWL).
+      std::uint64_t v = 0;
+      unsigned n = 0;
+      for (std::uint32_t i = 0; i < s.literal_len; ++i) {
+        const FusedEmitTables::Entry e = emit.lit[lit[i]];
+        v |= static_cast<std::uint64_t>(e.bits) << n;
+        n += e.nbits;
+        if (n > 42) {
+          w.write_unchecked(v, n);
+          v = 0;
+          n = 0;
+        }
+      }
+      if (n != 0) w.write_unchecked(v, n);
+      lit += s.literal_len;
+      info.n_literals += s.literal_len;
+      if (s.match_len == 0) {
+        w.write_unchecked(emit.end.bits, emit.end.nbits);
+      } else {
+        // One fused write emits length code + extra + distance code +
+        // extra (<= 48 bits) — the 6-call per-symbol chain collapsed.
+        const FusedEmitTables::Token t = emit.match_token(s.match_len, s.match_dist);
+        w.write_unchecked(t.bits, t.nbits);
+      }
+    }
+    info.n_sequences = static_cast<std::uint32_t>(count);
+    info.bits = w.bit_count() - start_bits;
+    *table++ = info;
+    seq_index += count;
+  }
+  w.end_run();
+}
+
+}  // namespace
+
+const Bytes& encode_block_bit(const lz77::TokenBlock& block, const BitCodecConfig& config,
+                              EncodeScratch& scratch, ThreadPool* lane_pool) {
   check(config.tokens_per_subblock >= 1, "bit codec: tokens_per_subblock must be >= 1");
   check(config.codeword_limit >= 9 && config.codeword_limit <= 15,
         "bit codec: CWL out of range (need >= ceil(log2(286)))");
+  const EncodeScratch::CapSnapshot caps = scratch.capacities();
 
-  // Pass 1: histogram both alphabets.
-  huffman::Histogram litlen_hist(kLitLenAlphabet);
-  huffman::Histogram offset_hist(kOffsetAlphabet);
-  for (const auto b : block.literals) litlen_hist.add(b);
+  // Pass 1: histogram both alphabets. Literals go through the 4-way
+  // byte histogram; match buckets come from the constexpr length table
+  // and the closed-form distance bit-width (no BucketCode round trips).
+  auto& litlen_freqs = scratch.litlen_freqs;
+  auto& offset_freqs = scratch.offset_freqs;
+  litlen_freqs.assign(kLitLenAlphabet, 0);
+  offset_freqs.assign(kOffsetAlphabet, 0);
+  huffman::add_byte_histogram(block.literals.data(), block.literals.size(),
+                              litlen_freqs.data());
   for (const auto& s : block.sequences) {
     if (s.match_len == 0) {
-      litlen_hist.add(kEndSymbol);
+      ++litlen_freqs[kEndSymbol];
       continue;
     }
     check(s.match_len >= lz77::kMinMatch && s.match_len <= lz77::kMaxMatch,
           "bit codec: match length outside DEFLATE domain");
     check(s.match_dist >= 1 && s.match_dist <= lz77::kMaxDistance,
           "bit codec: match distance outside DEFLATE domain");
-    litlen_hist.add(kFirstLengthSymbol + lz77::encode_length(s.match_len).code);
-    offset_hist.add(lz77::encode_distance(s.match_dist).code);
+    ++litlen_freqs[kFirstLengthSymbol + lz77::length_code(s.match_len)];
+    ++offset_freqs[lz77::distance_code(s.match_dist)];
   }
 
-  // Build the two limited-length canonical codes.
-  const auto litlen_lengths =
-      huffman::build_code_lengths(litlen_hist.counts(), config.codeword_limit);
-  const auto offset_lengths =
-      huffman::build_code_lengths(offset_hist.counts(), config.codeword_limit);
-  const huffman::Encoder litlen_enc(huffman::assign_canonical_codes(litlen_lengths));
-  const huffman::Encoder offset_enc(huffman::assign_canonical_codes(offset_lengths));
+  // Build the two limited-length canonical codes and the fused emit
+  // tables, all in reused storage.
+  huffman::build_code_lengths_into(litlen_freqs, config.codeword_limit,
+                                   scratch.litlen_lengths, scratch.code_ws);
+  huffman::build_code_lengths_into(offset_freqs, config.codeword_limit,
+                                   scratch.offset_lengths, scratch.code_ws);
+  huffman::assign_canonical_codes_into(scratch.litlen_lengths, scratch.litlen_codes);
+  huffman::assign_canonical_codes_into(scratch.offset_lengths, scratch.offset_codes);
+  scratch.emit.build(scratch.litlen_codes, scratch.offset_codes);
+  ++scratch.stats.table_builds;
 
   // Pass 2: emit the bitstream sub-block by sub-block, recording sizes.
-  BitWriter bits;
-  std::vector<SubblockInfo> table;
   const std::size_t n_seq = block.sequences.size();
-  const std::uint8_t* lit = block.literals.data();
-  std::size_t seq_index = 0;
-  while (seq_index < n_seq) {
-    SubblockInfo info;
-    const std::uint64_t start_bits = bits.bit_count();
-    const std::size_t count =
-        std::min<std::size_t>(config.tokens_per_subblock, n_seq - seq_index);
-    for (std::size_t k = 0; k < count; ++k) {
-      const lz77::Sequence& s = block.sequences[seq_index + k];
-      for (std::uint32_t i = 0; i < s.literal_len; ++i) litlen_enc.encode(lit[i], bits);
-      lit += s.literal_len;
-      info.n_literals += s.literal_len;
-      if (s.match_len == 0) {
-        litlen_enc.encode(kEndSymbol, bits);
-      } else {
-        const auto lc = lz77::encode_length(s.match_len);
-        litlen_enc.encode(kFirstLengthSymbol + lc.code, bits);
-        bits.write(lc.extra_value, lc.extra_bits);
-        const auto dc = lz77::encode_distance(s.match_dist);
-        offset_enc.encode(dc.code, bits);
-        bits.write(dc.extra_value, dc.extra_bits);
+  const std::size_t tps = config.tokens_per_subblock;
+  const std::size_t n_sub = n_seq == 0 ? 0 : (n_seq + tps - 1) / tps;
+  scratch.subblocks.assign(n_sub, SubblockEnc{});
+
+  if (lane_pool != nullptr && n_sub > 1) {
+    // Sub-block token coding is embarrassingly parallel once every lane
+    // knows its literal base: chunks of sub-blocks emit into their own
+    // writers, then the streams are spliced in order at bit granularity.
+    // Output bytes are identical to the serial path.
+    const std::size_t grain = std::max<std::size_t>(
+        1, n_sub / (4 * lane_pool->parallelism()));
+    const std::size_t n_chunks = (n_sub + grain - 1) / grain;
+    std::vector<BitWriter> lane_writers(n_chunks);
+    // Literal offset of every sub-block (prefix sums over sequences).
+    std::vector<std::uint64_t> lit_base(n_sub + 1, 0);
+    {
+      std::uint64_t lits = 0;
+      for (std::size_t sb = 0; sb < n_sub; ++sb) {
+        const std::size_t lo = sb * tps;
+        const std::size_t hi = std::min(n_seq, lo + tps);
+        for (std::size_t i = lo; i < hi; ++i) lits += block.sequences[i].literal_len;
+        lit_base[sb + 1] = lits;
       }
     }
-    info.n_sequences = static_cast<std::uint32_t>(count);
-    info.bits = bits.bit_count() - start_bits;
-    table.push_back(info);
-    seq_index += count;
+    lane_pool->parallel_for_chunked(n_sub, grain, [&](std::size_t sb_begin,
+                                                      std::size_t sb_end) {
+      const std::size_t chunk = sb_begin / grain;
+      emit_subblocks(block, sb_begin * tps, std::min(n_seq, sb_end * tps),
+                     block.literals.data() + lit_base[sb_begin],
+                     lit_base[sb_end] - lit_base[sb_begin], tps, scratch.emit,
+                     lane_writers[chunk], scratch.subblocks.data() + sb_begin);
+    });
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const std::uint64_t nbits = lane_writers[c].bit_count();
+      const Bytes bytes = lane_writers[c].finish();
+      scratch.stream.append_bits(bytes, nbits);
+    }
+    ++scratch.stats.lane_fanouts;
+  } else if (n_sub != 0) {
+    emit_subblocks(block, 0, n_seq, block.literals.data(), block.literals.size(), tps,
+                   scratch.emit, scratch.stream, scratch.subblocks.data());
   }
 
   // Assemble: counts, sub-block table, serialized trees, bitstream.
-  Bytes out;
+  Bytes& out = scratch.payload;
+  out.clear();
   put_varint(out, n_seq);
   put_varint(out, block.literals.size());
-  put_varint(out, table.size());
-  for (const auto& info : table) {
+  put_varint(out, scratch.subblocks.size());
+  for (const auto& info : scratch.subblocks) {
     put_varint(out, info.bits);
     put_varint(out, info.n_sequences);
     put_varint(out, info.n_literals);
   }
-  BitWriter trees;
-  huffman::write_code_lengths(litlen_lengths, trees);
-  huffman::write_code_lengths(offset_lengths, trees);
-  const Bytes tree_bytes = trees.finish();
-  out.insert(out.end(), tree_bytes.begin(), tree_bytes.end());
-  const Bytes stream = bits.finish();
-  out.insert(out.end(), stream.begin(), stream.end());
+  huffman::write_code_lengths(scratch.litlen_lengths, scratch.trees);
+  huffman::write_code_lengths(scratch.offset_lengths, scratch.trees);
+  scratch.trees.flush_into(out);
+  scratch.stream.flush_into(out);
+
+  ++scratch.stats.blocks;
+  if (!scratch.pending_growth && caps == scratch.capacities()) {
+    ++scratch.stats.buffer_reuses;
+  }
+  scratch.pending_growth = false;
   return out;
+}
+
+Bytes encode_block_bit(const lz77::TokenBlock& block, const BitCodecConfig& config) {
+  EncodeScratch scratch;
+  encode_block_bit(block, config, scratch);
+  return std::move(scratch.payload);
 }
 
 namespace {

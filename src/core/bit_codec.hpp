@@ -34,7 +34,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/alphabet.hpp"
 #include "core/decode_scratch.hpp"
+#include "core/encode_scratch.hpp"
 #include "lz77/sequence.hpp"
 #include "simt/warp.hpp"
 #include "util/common.hpp"
@@ -45,11 +47,6 @@ class ThreadPool;
 
 namespace gompresso::core {
 
-inline constexpr std::size_t kLitLenAlphabet = 286;  // 256 lit + END + 29 lengths
-inline constexpr std::size_t kOffsetAlphabet = 30;
-inline constexpr std::uint16_t kEndSymbol = 256;
-inline constexpr std::uint16_t kFirstLengthSymbol = 257;
-
 /// Bit codec tuning knobs (subset of CompressOptions).
 struct BitCodecConfig {
   std::uint32_t tokens_per_subblock = 16;  // sequences per sub-block (§V)
@@ -57,8 +54,22 @@ struct BitCodecConfig {
 };
 
 /// Encodes a parsed block. Requires match lengths in [3, 258] and
-/// distances in [1, 32768] (the DEFLATE bucket domains).
+/// distances in [1, 32768] (the DEFLATE bucket domains). Convenience
+/// wrapper around the scratch-arena overload below.
 Bytes encode_block_bit(const lz77::TokenBlock& block, const BitCodecConfig& config);
+
+/// Encode fast path: histograms, canonical codes, fused emit tables and
+/// the output payload all live in `scratch` and are reused across blocks
+/// (zero steady-state allocations — EncodeScratchStats counts it).
+/// Token emission runs through the fused tables: one unchecked write per
+/// merged length+distance token, multi-literal packing for runs. With a
+/// non-null `lane_pool` and more than one sub-block, sub-block token
+/// coding fans out across the pool (the encode-side mirror of decode's
+/// lane fan-out); output bytes are identical either way, and identical
+/// to the pre-fast-path per-symbol encoder. Returns scratch.payload
+/// (valid until the next encode with the same scratch).
+const Bytes& encode_block_bit(const lz77::TokenBlock& block, const BitCodecConfig& config,
+                              EncodeScratch& scratch, ThreadPool* lane_pool = nullptr);
 
 /// Decodes a payload back into sequences + literals. Each sub-block is
 /// decoded by a separate warp lane on the GPU; here the lanes run

@@ -54,12 +54,58 @@ lz77::Sequence unpack_record(std::uint32_t word) {
   return s;
 }
 
+void pack_records_into(const lz77::Sequence* seqs, std::size_t count,
+                       std::uint8_t* dst) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t word = pack_record(seqs[i]);
+    std::memcpy(dst, &word, 4);  // little-endian hosts
+    dst += kByteRecordSize;
+  }
+}
+
 Bytes encode_block_byte(const lz77::TokenBlock& block) {
   Bytes out;
   out.reserve(max_encoded_size_byte(block));
   put_varint(out, block.sequences.size());
   for (const auto& s : block.sequences) put_u32le(out, pack_record(s));
   out.insert(out.end(), block.literals.begin(), block.literals.end());
+  return out;
+}
+
+const Bytes& encode_block_byte(const lz77::TokenBlock& block, EncodeScratch& scratch,
+                               ThreadPool* lane_pool) {
+  const EncodeScratch::CapSnapshot caps = scratch.capacities();
+  Bytes& out = scratch.payload;
+  out.clear();
+  const std::size_t max_size = max_encoded_size_byte(block);
+  if (out.capacity() < max_size) out.reserve(max_size);
+  put_varint(out, block.sequences.size());
+  const std::size_t records_begin = out.size();
+  const std::size_t n = block.sequences.size();
+  out.resize(records_begin + n * kByteRecordSize);
+
+  // Fixed record width: record k's bytes are at a known offset, so any
+  // sub-range packs independently (the encode mirror of the decoder's
+  // lane-parallel unpack).
+  const auto pack_range = [&](std::size_t begin, std::size_t end) {
+    pack_records_into(block.sequences.data() + begin, end - begin,
+                      out.data() + records_begin + begin * kByteRecordSize);
+  };
+  if (lane_pool != nullptr && n > 1) {
+    const std::size_t grain = std::max<std::size_t>(
+        512, n / (4 * lane_pool->parallelism()));
+    lane_pool->parallel_for_chunked(n, grain, pack_range);
+    ++scratch.stats.lane_fanouts;
+  } else {
+    pack_range(0, n);
+  }
+  out.insert(out.end(), block.literals.begin(), block.literals.end());
+
+  ++scratch.stats.blocks;
+  if (!scratch.pending_growth && caps == scratch.capacities()) {
+    ++scratch.stats.buffer_reuses;
+  }
+  scratch.pending_growth = false;
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/decode_scratch.hpp"
+#include "core/encode_scratch.hpp"
 #include "lz77/sequence.hpp"
 #include "util/common.hpp"
 
@@ -43,8 +44,17 @@ inline constexpr std::uint32_t kByteCodecMaxMatch = 65;
 inline constexpr std::uint32_t kByteCodecMaxDistance = 8192;
 
 /// Serialises a parsed block. Requires literal_len <= 8191,
-/// match_len in {0} + [3, 65], match_dist <= 8192.
+/// match_len in {0} + [3, 65], match_dist <= 8192. Convenience wrapper
+/// around the scratch overload below.
 Bytes encode_block_byte(const lz77::TokenBlock& block);
+
+/// Scratch fast path: serialises into scratch.payload (reused across
+/// blocks, zero steady-state allocations). The fixed record width makes
+/// any sub-range of the record array an independent lane, so with a
+/// non-null `lane_pool` the record packing fans out across the pool —
+/// output bytes are identical either way. Returns scratch.payload.
+const Bytes& encode_block_byte(const lz77::TokenBlock& block, EncodeScratch& scratch,
+                               ThreadPool* lane_pool = nullptr);
 
 /// Parses a payload back into sequences + literal bytes.
 /// Throws gompresso::Error on truncated or inconsistent payloads.
@@ -67,6 +77,13 @@ std::size_t max_encoded_size_byte(const lz77::TokenBlock& block);
 
 /// Packs one sequence into the 4-byte record word (domain-checked).
 std::uint32_t pack_record(const lz77::Sequence& s);
+
+/// Packs `count` sequences as consecutive 4-byte little-endian records
+/// at `dst` (which must hold count * kByteRecordSize bytes). Shared by
+/// the byte codec's payload serialisation and the tans codec's record
+/// arena so the record layout lives in one place.
+void pack_records_into(const lz77::Sequence* seqs, std::size_t count,
+                       std::uint8_t* dst);
 
 /// Unpacks a 4-byte record word (throws on a malformed word).
 lz77::Sequence unpack_record(std::uint32_t word);

@@ -55,7 +55,9 @@ Bytes compress(ByteSpan input, const CompressOptions& options, CompressStats* st
 
   const std::size_t num_blocks = div_ceil<std::size_t>(input.size(), options.block_size);
   std::vector<Bytes> payloads(num_blocks);
-  std::vector<lz77::ParseStats> parse_stats(num_blocks);
+  // ParseStats gathering is not free (with DE every literal position runs
+  // a second, unconstrained matcher probe), so it only runs when asked.
+  std::vector<lz77::ParseStats> parse_stats(stats != nullptr ? num_blocks : 0);
 
   lz77::ParserOptions parser_options;
   parser_options.matcher.window_size = options.window_size;
@@ -75,44 +77,87 @@ Bytes compress(ByteSpan input, const CompressOptions& options, CompressStats* st
   tans_config.tokens_per_subblock = options.tokens_per_subblock;
   tans_config.table_log = options.tans_table_log;
 
-  auto compress_one = [&](std::size_t b) {
+  // Scratch reservation is lazy (first block a worker actually pulls):
+  // a wide pool compressing a short input must not pre-touch worst-case
+  // buffers for participants that never run a block. The reserve bound
+  // is clamped to the input size — no block can exceed it, and a small
+  // input with a huge configured block_size must not commit gigabytes.
+  const bool tans_scratch = options.codec == Codec::kTans;
+  const bool bit_scratch = options.codec == Codec::kBit;
+  const std::uint32_t reserve_block_size = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(options.block_size, input.size()));
+  auto compress_one = [&](core::EncodeScratch& scratch, std::size_t b,
+                          ThreadPool* lane_pool) {
+    if (!scratch.reserved) {
+      scratch.reserve(reserve_block_size, options.tokens_per_subblock, tans_scratch,
+                      options.tans_table_log, bit_scratch);
+      scratch.reserved = true;
+    }
     const std::size_t begin = b * options.block_size;
     const std::size_t len = std::min<std::size_t>(options.block_size, input.size() - begin);
     const ByteSpan block = input.subspan(begin, len);
-    // Blocks are compressed independently: fresh matcher state per block.
-    // Hash chains approximate the paper's exhaustive parallel matching
-    // (§III-A); with DE, the chain's older entries also supply the
-    // below-HWM candidates that §IV-B's staleness policy preserves in the
-    // single-slot (LZ4) setting.
-    const lz77::TokenBlock tokens =
-        lz77::parse_chained(block, parser_options, options.match_effort,
-                            &parse_stats[b]);
-    Bytes payload;
-    put_u32le(payload, crc32(block));
-    const Bytes encoded = options.codec == Codec::kByte
-                              ? core::encode_block_byte(tokens)
-                          : options.codec == Codec::kBit
-                              ? core::encode_block_bit(tokens, bit_config)
-                              : core::encode_block_tans(tokens, tans_config);
+    // Blocks are compressed independently: the worker's matcher is reset
+    // per block via its cheap generation bump (decisions identical to a
+    // fresh matcher). Hash chains approximate the paper's exhaustive
+    // parallel matching (§III-A); with DE, the chain's older entries also
+    // supply the below-HWM candidates that §IV-B's staleness policy
+    // preserves in the single-slot (LZ4) setting.
+    const core::EncodeScratch::CapSnapshot caps = scratch.capacities();
+    lz77::ChainMatcher& matcher =
+        scratch.chain_matcher(parser_options.matcher, options.match_effort);
+    lz77::parse_block_into(block, parser_options, matcher, scratch.block,
+                           stats != nullptr ? &parse_stats[b] : nullptr,
+                           &scratch.de_constraint);
+    if (!(caps == scratch.capacities())) scratch.pending_growth = true;
+    const Bytes& encoded =
+        options.codec == Codec::kByte
+            ? core::encode_block_byte(scratch.block, scratch, lane_pool)
+        : options.codec == Codec::kBit
+            ? core::encode_block_bit(scratch.block, bit_config, scratch, lane_pool)
+            : core::encode_block_tans(scratch.block, tans_config, scratch, lane_pool);
+    Bytes& payload = payloads[b];
     if (options.allow_stored_blocks && encoded.size() >= block.size()) {
       // Stored block (DEFLATE's "stored" mode): incompressible blocks are
       // emitted verbatim, bounding expansion at the mode byte + CRC.
+      payload.reserve(5 + block.size());
+      put_u32le(payload, crc32(block));
       payload.push_back(kBlockModeStored);
       payload.insert(payload.end(), block.begin(), block.end());
     } else {
+      payload.reserve(5 + encoded.size());
+      put_u32le(payload, crc32(block));
       payload.push_back(kBlockModeCoded);
       payload.insert(payload.end(), encoded.begin(), encoded.end());
     }
-    payloads[b] = std::move(payload);
   };
 
-  if (options.num_threads == 1) {
-    for (std::size_t b = 0; b < num_blocks; ++b) compress_one(b);
-  } else if (options.num_threads == 0) {
-    default_pool().parallel_for(num_blocks, compress_one);
+  // Thread plan (mirrors decompress): whole-block pipelining across the
+  // pool when there are multiple blocks, intra-block sub-block fan-out
+  // for a single-block input, serial otherwise. Every worker owns one
+  // pre-reserved EncodeScratch.
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> own_pool;
+  if (options.num_threads == 0) {
+    pool = &default_pool();
+  } else if (options.num_threads > 1) {
+    own_pool = std::make_unique<ThreadPool>(options.num_threads);
+    pool = own_pool.get();
+  }
+
+  std::vector<core::EncodeScratch> workers;
+  if (pool == nullptr || pool->parallelism() == 1) {
+    workers.resize(1);
+    for (std::size_t b = 0; b < num_blocks; ++b) compress_one(workers[0], b, nullptr);
+  } else if (num_blocks != 1) {
+    workers.resize(pool->parallelism());
+    pool->parallel_for_worker(num_blocks, [&](std::size_t worker, std::size_t b) {
+      compress_one(workers[worker], b, nullptr);
+    });
   } else {
-    ThreadPool pool(options.num_threads);
-    pool.parallel_for(num_blocks, compress_one);
+    // A single block cannot use inter-block parallelism: fan its
+    // sub-block token coding out across the pool instead.
+    workers.resize(1);
+    compress_one(workers[0], 0, pool);
   }
 
   header.block_compressed_sizes.reserve(num_blocks);
@@ -136,6 +181,7 @@ Bytes compress(ByteSpan input, const CompressOptions& options, CompressStats* st
       stats->parse.literal_bytes += ps.literal_bytes;
       stats->parse.matches_rejected_by_hwm += ps.matches_rejected_by_hwm;
     }
+    for (const auto& w : workers) stats->scratch.merge(w.stats);
   }
   return out;
 }

@@ -1,6 +1,7 @@
 // The Gompresso compressor: block-parallel LZ77 + entropy stage (§III-A).
 #pragma once
 
+#include "core/encode_scratch.hpp"
 #include "core/options.hpp"
 #include "lz77/parser.hpp"
 #include "util/common.hpp"
@@ -13,6 +14,11 @@ struct CompressStats {
   std::uint64_t output_bytes = 0;
   std::uint64_t blocks = 0;
   lz77::ParseStats parse;
+  /// Per-worker encode-scratch reuse counters, merged across workers —
+  /// the encode-side mirror of DecompressResult::scratch. In the steady
+  /// state blocks == buffer_reuses (no per-block allocations) and
+  /// matcher_inits stays at the worker count.
+  core::EncodeScratchStats scratch;
 
   double ratio() const {
     return output_bytes == 0 ? 0.0

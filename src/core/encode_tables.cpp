@@ -1,0 +1,43 @@
+#include "core/encode_tables.hpp"
+
+namespace gompresso::core {
+
+void FusedEmitTables::build(const std::vector<huffman::CodeEntry>& litlen_codes,
+                            const std::vector<huffman::CodeEntry>& offset_codes) {
+  check(litlen_codes.size() == kLitLenAlphabet, "emit tables: bad lit/len alphabet");
+  check(offset_codes.size() == kOffsetAlphabet, "emit tables: bad offset alphabet");
+
+  for (std::size_t s = 0; s < 256; ++s) {
+    lit[s].bits = huffman::reverse_bits(litlen_codes[s].code, litlen_codes[s].length);
+    lit[s].nbits = litlen_codes[s].length;
+  }
+  {
+    const auto& e = litlen_codes[kEndSymbol];
+    end.bits = huffman::reverse_bits(e.code, e.length);
+    end.nbits = e.length;
+  }
+
+  // Length table: the extra value is (length - bucket base), a function
+  // of the length alone, so it merges behind the code at build time.
+  for (std::uint32_t l = lz77::kMinMatch; l <= lz77::kMaxMatch; ++l) {
+    const std::uint32_t code = lz77::length_code(l);
+    const auto& e = litlen_codes[kFirstLengthSymbol + code];
+    const std::uint32_t extra = l - lz77::length_base(code);
+    len[l - lz77::kMinMatch].bits =
+        huffman::reverse_bits(e.code, e.length) | (extra << e.length);
+    len[l - lz77::kMinMatch].nbits =
+        static_cast<std::uint32_t>(e.length) + lz77::length_extra_bits(code);
+  }
+
+  // Distance buckets: the extra value depends on the distance, so the
+  // entry carries the base and widths for the emit-time merge.
+  for (std::uint32_t c = 0; c < lz77::kNumDistanceCodes; ++c) {
+    const auto& e = offset_codes[c];
+    dist[c].code_bits = huffman::reverse_bits(e.code, e.length);
+    dist[c].base = static_cast<std::uint16_t>(lz77::distance_base(c));
+    dist[c].code_len = e.length;
+    dist[c].extra_bits = static_cast<std::uint8_t>(lz77::distance_extra_bits(c));
+  }
+}
+
+}  // namespace gompresso::core

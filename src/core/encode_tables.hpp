@@ -1,0 +1,89 @@
+// Fused symbol-emission tables for the Gompresso/Bit encoder.
+//
+// The per-symbol encode path costs ~6 calls per match sequence: a Huffman
+// code lookup + BitWriter::write for the length bucket, a separate write
+// for the length extra bits, and the same pair again for the distance —
+// plus encode_length/encode_distance bucket searches to find the buckets
+// in the first place. These tables pre-merge everything that is fixed for
+// a given block's canonical codes (mirroring the decoder's fused tables
+// in core/decode_tables):
+//
+//   * len[match_len - 3]   — the Huffman code of the length bucket with
+//                            the extra-value bits already merged behind
+//                            it (the extra value is a function of the
+//                            length alone). One table load + one
+//                            write_unchecked emits the whole length.
+//   * dist[bucket]         — the Huffman code of the distance bucket plus
+//                            the bucket base, so the emit merges
+//                            (distance - base) behind the code in
+//                            registers. The bucket itself comes from the
+//                            closed-form lz77::distance_code (bit width),
+//                            not a table walk.
+//   * lit[byte], end       — plain pre-reversed literal / END codes.
+//
+// A worst-case match token is 15 (length code) + 5 (length extra) + 15
+// (distance code) + 13 (distance extra) = 48 bits, within BitWriter's
+// 57-bit single-write limit — so one fused write emits length AND
+// distance. bench_encode_hotpath measures the resulting speedup;
+// tests/test_encode_hotpath.cpp proves bit-identical streams against the
+// per-symbol path for every length and every bucket boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/alphabet.hpp"
+#include "huffman/code_builder.hpp"
+#include "lz77/deflate_tables.hpp"
+
+namespace gompresso::core {
+
+/// Per-block fused emit tables, rebuilt from the block's canonical codes
+/// (fixed-size storage — lives in EncodeScratch and is reused).
+struct FusedEmitTables {
+  /// A fully pre-merged code: LSB-first bits and total width.
+  struct Entry {
+    std::uint32_t bits = 0;
+    std::uint32_t nbits = 0;
+  };
+  /// A distance bucket: pre-reversed code plus what the emit needs to
+  /// merge the distance-dependent extra bits in registers.
+  struct DistEntry {
+    std::uint32_t code_bits = 0;
+    std::uint16_t base = 0;       // smallest distance of the bucket
+    std::uint8_t code_len = 0;    // Huffman code length
+    std::uint8_t extra_bits = 0;  // raw bits that follow the code
+  };
+
+  Entry lit[256];
+  Entry end;  // kEndSymbol, terminates a block's final sequence
+  Entry len[lz77::kMaxMatch - lz77::kMinMatch + 1];
+  DistEntry dist[lz77::kNumDistanceCodes];
+
+  /// Rebuilds every entry from the two canonical code sets
+  /// (assign_canonical_codes output for the lit/len and offset
+  /// alphabets). Symbols absent from the codes get zero-width entries;
+  /// emitting one is a logic error the encoder's histograms rule out.
+  void build(const std::vector<huffman::CodeEntry>& litlen_codes,
+             const std::vector<huffman::CodeEntry>& offset_codes);
+
+  /// A merged multi-symbol token ready for one BitWriter write.
+  struct Token {
+    std::uint64_t bits = 0;
+    std::uint32_t nbits = 0;
+  };
+
+  /// The merged length+distance token for one match (<= 48 bits, one
+  /// write_unchecked). Precondition: domains as per encode_block_bit.
+  Token match_token(std::uint32_t match_len, std::uint32_t match_dist) const {
+    const Entry le = len[match_len - lz77::kMinMatch];
+    const DistEntry de = dist[lz77::distance_code(match_dist)];
+    const std::uint64_t dv =
+        de.code_bits |
+        (static_cast<std::uint64_t>(match_dist - de.base) << de.code_len);
+    const std::uint32_t dn = static_cast<std::uint32_t>(de.code_len) + de.extra_bits;
+    return Token{le.bits | (dv << le.nbits), le.nbits + dn};
+  }
+};
+
+}  // namespace gompresso::core

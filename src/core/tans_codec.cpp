@@ -6,92 +6,146 @@
 
 #include "ans/tans.hpp"
 #include "core/byte_codec.hpp"
+#include "huffman/histogram.hpp"
 #include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 
 namespace gompresso::core {
-namespace {
 
-struct SubblockInfo {
-  std::uint32_t n_sequences = 0;
-  std::uint32_t n_literals = 0;
-  std::uint64_t record_bytes = 0;   // encoded record-stream size
-  std::uint64_t literal_bytes = 0;  // encoded literal-stream size
-};
-
-/// Serialises a sub-block's records as packed little-endian words.
-Bytes pack_records(const lz77::Sequence* seqs, std::size_t count) {
-  Bytes raw;
-  raw.reserve(count * kByteRecordSize);
-  for (std::size_t i = 0; i < count; ++i) put_u32le(raw, pack_record(seqs[i]));
-  return raw;
-}
-
-}  // namespace
-
-Bytes encode_block_tans(const lz77::TokenBlock& block, const TansCodecConfig& config) {
+const Bytes& encode_block_tans(const lz77::TokenBlock& block, const TansCodecConfig& config,
+                               EncodeScratch& scratch, ThreadPool* lane_pool) {
   check(config.tokens_per_subblock >= 1, "tans codec: tokens_per_subblock must be >= 1");
   check(!block.sequences.empty(), "tans codec: empty block");
+  const EncodeScratch::CapSnapshot caps = scratch.capacities();
 
-  // Block-wide histograms -> the two shared models (§III-B.1 analogue).
-  std::vector<std::uint64_t> record_freqs(256, 0);
-  {
-    const Bytes all_records = pack_records(block.sequences.data(), block.sequences.size());
-    for (const auto b : all_records) ++record_freqs[b];
-  }
-  const ans::Model record_model =
-      ans::Model::from_frequencies(record_freqs, config.table_log);
-  ans::Model literal_model;
+  // Pack every record once into the scratch arena (the per-sub-block
+  // streams encode slices of it) and histogram both alphabets, with
+  // four sub-histograms to break the per-byte store-to-load dependency.
+  const std::size_t n_seq = block.sequences.size();
+  auto& records = scratch.record_bytes;
+  records.resize(n_seq * kByteRecordSize);
+  pack_records_into(block.sequences.data(), n_seq, records.data());
+  // Block-wide histograms -> the two shared models (§III-B.1 analogue),
+  // rebuilt in place in the scratch-owned model storage.
+  scratch.record_freqs.assign(256, 0);
+  huffman::add_byte_histogram(records.data(), records.size(),
+                              scratch.record_freqs.data());
+  bool models_warm =
+      scratch.record_model.build_encode_into(scratch.record_freqs, config.table_log);
+  ++scratch.stats.table_builds;
   if (!block.literals.empty()) {
-    std::vector<std::uint64_t> literal_freqs(256, 0);
-    for (const auto b : block.literals) ++literal_freqs[b];
-    literal_model = ans::Model::from_frequencies(literal_freqs, config.table_log);
+    scratch.literal_freqs.assign(256, 0);
+    huffman::add_byte_histogram(block.literals.data(), block.literals.size(),
+                                scratch.literal_freqs.data());
+    models_warm &= scratch.literal_model.build_encode_into(scratch.literal_freqs,
+                                                           config.table_log);
+    ++scratch.stats.table_builds;
   }
 
   // Per sub-block: encode the record words and the literal slab as
-  // independent streams against the shared models.
-  std::vector<SubblockInfo> table;
-  std::vector<Bytes> streams;
-  const std::size_t n_seq = block.sequences.size();
-  const std::uint8_t* lit = block.literals.data();
-  std::size_t seq_index = 0;
-  while (seq_index < n_seq) {
-    SubblockInfo info;
-    const std::size_t count =
-        std::min<std::size_t>(config.tokens_per_subblock, n_seq - seq_index);
-    info.n_sequences = static_cast<std::uint32_t>(count);
-    for (std::size_t k = 0; k < count; ++k) {
-      info.n_literals += block.sequences[seq_index + k].literal_len;
+  // independent streams against the shared models. The streams stage
+  // into scratch.stage (their sizes go in the table, which precedes them
+  // in the payload).
+  const std::size_t tps = config.tokens_per_subblock;
+  const std::size_t n_sub = (n_seq + tps - 1) / tps;
+  scratch.subblocks.assign(n_sub, SubblockEnc{});
+  // Every lane's input slices, via prefix sums (also what the decoder
+  // derives from the table).
+  std::uint64_t lit_total = 0;
+  for (std::size_t sb = 0; sb < n_sub; ++sb) {
+    SubblockEnc& info = scratch.subblocks[sb];
+    const std::size_t lo = sb * tps;
+    const std::size_t hi = std::min(n_seq, lo + tps);
+    info.n_sequences = static_cast<std::uint32_t>(hi - lo);
+    std::uint32_t lits = 0;
+    for (std::size_t i = lo; i < hi; ++i) lits += block.sequences[i].literal_len;
+    info.n_literals = lits;
+    lit_total += lits;
+  }
+  check(lit_total == block.literals.size(), "tans codec: literal count mismatch");
+
+  const auto encode_lanes = [&](std::size_t sb_begin, std::size_t sb_end,
+                                std::uint64_t lit_base, Bytes& out,
+                                ans::EncodeStreamWorkspace& ws) {
+    for (std::size_t sb = sb_begin; sb < sb_end; ++sb) {
+      SubblockEnc& info = scratch.subblocks[sb];
+      const std::size_t lo = sb * tps;
+      std::size_t before = out.size();
+      scratch.record_model.encode_stream_into(
+          ByteSpan(records.data() + lo * kByteRecordSize,
+                   std::size_t{info.n_sequences} * kByteRecordSize),
+          out, ws);
+      info.record_bytes = out.size() - before;
+      before = out.size();
+      if (info.n_literals != 0) {
+        scratch.literal_model.encode_stream_into(
+            ByteSpan(block.literals.data() + lit_base, info.n_literals), out, ws);
+      }
+      info.literal_bytes = out.size() - before;
+      lit_base += info.n_literals;
     }
-    const Bytes raw_records = pack_records(block.sequences.data() + seq_index, count);
-    Bytes rec_stream = record_model.encode_stream(raw_records);
-    info.record_bytes = rec_stream.size();
-    Bytes lit_stream;
-    if (info.n_literals != 0) {
-      lit_stream = literal_model.encode_stream(ByteSpan(lit, info.n_literals));
+  };
+
+  // The encoded streams are staged (their sizes must land in the table,
+  // which precedes them in the payload), then appended after the table
+  // is written: the serial path stages once through scratch.stage, the
+  // fan-out path keeps the per-chunk buffers and appends them directly.
+  std::vector<Bytes> chunk_bytes;
+  if (lane_pool != nullptr && n_sub > 1) {
+    // Independent per-sub-block streams: chunks encode into their own
+    // staging buffers, concatenated in order at assembly. Identical
+    // bytes to the serial path.
+    const std::size_t grain = std::max<std::size_t>(
+        1, n_sub / (4 * lane_pool->parallelism()));
+    const std::size_t n_chunks = (n_sub + grain - 1) / grain;
+    chunk_bytes.resize(n_chunks);
+    std::vector<std::uint64_t> lit_base(n_sub + 1, 0);
+    for (std::size_t sb = 0; sb < n_sub; ++sb) {
+      lit_base[sb + 1] = lit_base[sb] + scratch.subblocks[sb].n_literals;
     }
-    info.literal_bytes = lit_stream.size();
-    lit += info.n_literals;
-    table.push_back(info);
-    streams.push_back(std::move(rec_stream));
-    streams.push_back(std::move(lit_stream));
-    seq_index += count;
+    lane_pool->parallel_for_chunked(n_sub, grain, [&](std::size_t sb_begin,
+                                                      std::size_t sb_end) {
+      ans::EncodeStreamWorkspace ws;
+      encode_lanes(sb_begin, sb_end, lit_base[sb_begin],
+                   chunk_bytes[sb_begin / grain], ws);
+    });
+    ++scratch.stats.lane_fanouts;
+  } else {
+    scratch.stage.clear();
+    encode_lanes(0, n_sub, 0, scratch.stage, scratch.ans_ws);
   }
 
-  Bytes out;
+  Bytes& out = scratch.payload;
+  out.clear();
   put_varint(out, n_seq);
   put_varint(out, block.literals.size());
-  put_varint(out, table.size());
-  record_model.serialize(out);
-  if (!block.literals.empty()) literal_model.serialize(out);
-  for (const auto& info : table) {
+  put_varint(out, n_sub);
+  scratch.record_model.serialize(out);
+  if (!block.literals.empty()) scratch.literal_model.serialize(out);
+  for (const auto& info : scratch.subblocks) {
     put_varint(out, info.n_sequences);
     put_varint(out, info.n_literals);
     put_varint(out, info.record_bytes);
     put_varint(out, info.literal_bytes);
   }
-  for (const auto& s : streams) out.insert(out.end(), s.begin(), s.end());
+  if (!chunk_bytes.empty()) {
+    for (const auto& cb : chunk_bytes) out.insert(out.end(), cb.begin(), cb.end());
+  } else {
+    out.insert(out.end(), scratch.stage.begin(), scratch.stage.end());
+  }
+
+  ++scratch.stats.blocks;
+  if (!scratch.pending_growth && models_warm && caps == scratch.capacities()) {
+    ++scratch.stats.buffer_reuses;
+  }
+  scratch.pending_growth = false;
   return out;
+}
+
+Bytes encode_block_tans(const lz77::TokenBlock& block, const TansCodecConfig& config) {
+  EncodeScratch scratch;
+  encode_block_tans(block, config, scratch);
+  return std::move(scratch.payload);
 }
 
 namespace {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include "core/decode_scratch.hpp"
+#include "core/encode_scratch.hpp"
 #include "lz77/sequence.hpp"
 #include "util/common.hpp"
 
@@ -43,7 +44,18 @@ struct TansCodecConfig {
 };
 
 /// Serialises a parsed block (domain limits as per Gompresso/Byte).
+/// Convenience wrapper around the scratch overload below.
 Bytes encode_block_tans(const lz77::TokenBlock& block, const TansCodecConfig& config);
+
+/// Scratch fast path: the packed-record arena, both shared tANS models
+/// (rebuilt in place), the per-stream bit stack and the staged streams
+/// all live in `scratch` and are reused across blocks (zero steady-state
+/// allocations). With a non-null `lane_pool` and more than one
+/// sub-block, the independent per-sub-block stream encodes fan out
+/// across the pool — output bytes are identical either way. Returns
+/// scratch.payload.
+const Bytes& encode_block_tans(const lz77::TokenBlock& block, const TansCodecConfig& config,
+                               EncodeScratch& scratch, ThreadPool* lane_pool = nullptr);
 
 /// Decodes a payload back into sequences + literals; each sub-block is an
 /// independent lane's work. Throws gompresso::Error on corrupt payloads.

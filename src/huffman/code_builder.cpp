@@ -1,21 +1,12 @@
 #include "huffman/code_builder.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 
 namespace gompresso::huffman {
-namespace {
 
-// One item in a package-merge level list: either a leaf (symbol >= 0) or a
-// package combining two items of the next-lower denomination level.
-struct Item {
-  std::uint64_t weight = 0;
-  std::int32_t symbol = -1;  // >= 0 for leaves
-  std::int32_t left = -1;    // indices into the next level's item list
-  std::int32_t right = -1;
-};
-
-}  // namespace
+using detail::PmItem;
 
 std::uint32_t reverse_bits(std::uint32_t code, unsigned nbits) {
   std::uint32_t r = 0;
@@ -26,27 +17,28 @@ std::uint32_t reverse_bits(std::uint32_t code, unsigned nbits) {
   return r;
 }
 
-std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs,
-                                             unsigned max_length) {
+void build_code_lengths_into(const std::vector<std::uint64_t>& freqs,
+                             unsigned max_length, std::vector<std::uint8_t>& lengths,
+                             CodeBuildWorkspace& ws) {
   const std::size_t alphabet = freqs.size();
-  std::vector<std::uint8_t> lengths(alphabet, 0);
+  lengths.assign(alphabet, 0);
 
   // Collect and sort the active symbols by frequency (stable on symbol id
   // for determinism).
-  std::vector<std::int32_t> active;
+  ws.active.clear();
   for (std::size_t s = 0; s < alphabet; ++s) {
-    if (freqs[s] != 0) active.push_back(static_cast<std::int32_t>(s));
+    if (freqs[s] != 0) ws.active.push_back(static_cast<std::int32_t>(s));
   }
-  const std::size_t n = active.size();
-  if (n == 0) return lengths;
+  const std::size_t n = ws.active.size();
+  if (n == 0) return;
   if (n == 1) {
-    lengths[static_cast<std::size_t>(active[0])] = 1;
-    return lengths;
+    lengths[static_cast<std::size_t>(ws.active[0])] = 1;
+    return;
   }
   check(max_length >= 1 && (1ull << max_length) >= n,
         "huffman: max code length too small for alphabet");
 
-  std::sort(active.begin(), active.end(), [&](std::int32_t a, std::int32_t b) {
+  std::sort(ws.active.begin(), ws.active.end(), [&](std::int32_t a, std::int32_t b) {
     const auto fa = freqs[static_cast<std::size_t>(a)];
     const auto fb = freqs[static_cast<std::size_t>(b)];
     return fa != fb ? fa < fb : a < b;
@@ -55,23 +47,28 @@ std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& f
   // levels[l] holds the merged item list for denomination 2^-(l+1);
   // levels[max_length-1] is the smallest denomination (pure leaves),
   // levels[0] is the final list items are selected from.
-  std::vector<std::vector<Item>> levels(max_length);
+  if (ws.levels.size() < max_length) ws.levels.resize(max_length);
+  auto& levels = ws.levels;
 
-  std::vector<Item> leaves(n);
+  ws.leaves.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    leaves[i].weight = freqs[static_cast<std::size_t>(active[i])];
-    leaves[i].symbol = active[i];
+    ws.leaves[i] = PmItem{};
+    ws.leaves[i].weight = freqs[static_cast<std::size_t>(ws.active[i])];
+    ws.leaves[i].symbol = ws.active[i];
   }
+  const auto& leaves = ws.leaves;
 
-  std::vector<Item> prev;  // the level below (higher l), already finished
+  const std::vector<PmItem>* prev = nullptr;  // the level below, already finished
   for (int l = static_cast<int>(max_length) - 1; l >= 0; --l) {
     auto& cur = levels[static_cast<std::size_t>(l)];
+    cur.clear();
     // Form packages by pairing adjacent items of the previous level.
-    std::vector<Item> packages;
-    packages.reserve(prev.size() / 2);
-    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
-      Item pkg;
-      pkg.weight = prev[i].weight + prev[i + 1].weight;
+    auto& packages = ws.packages;
+    packages.clear();
+    const std::size_t prev_size = prev ? prev->size() : 0;
+    for (std::size_t i = 0; i + 1 < prev_size; i += 2) {
+      PmItem pkg;
+      pkg.weight = (*prev)[i].weight + (*prev)[i + 1].weight;
       pkg.left = static_cast<std::int32_t>(i);
       pkg.right = static_cast<std::int32_t>(i + 1);
       packages.push_back(pkg);
@@ -86,7 +83,7 @@ std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& f
           (li < n && leaves[li].weight <= packages[pi].weight);
       cur.push_back(take_leaf ? leaves[li++] : packages[pi++]);
     }
-    prev = cur;
+    prev = &cur;
   }
 
   // Select the first 2(n-1) items of the top list and count how many
@@ -95,14 +92,15 @@ std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& f
   check(levels[0].size() >= select, "huffman: package-merge underflow");
 
   // Explicit stack of (level, index) pairs.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+  auto& stack = ws.stack;
+  stack.clear();
   for (std::size_t i = 0; i < select; ++i) {
     stack.emplace_back(0u, static_cast<std::uint32_t>(i));
   }
   while (!stack.empty()) {
     const auto [lvl, idx] = stack.back();
     stack.pop_back();
-    const Item& item = levels[lvl][idx];
+    const PmItem& item = levels[lvl][idx];
     if (item.symbol >= 0) {
       ++lengths[static_cast<std::size_t>(item.symbol)];
     } else {
@@ -110,6 +108,13 @@ std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& f
       stack.emplace_back(lvl + 1, static_cast<std::uint32_t>(item.right));
     }
   }
+}
+
+std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs,
+                                             unsigned max_length) {
+  std::vector<std::uint8_t> lengths;
+  CodeBuildWorkspace ws;
+  build_code_lengths_into(freqs, max_length, lengths, ws);
   return lengths;
 }
 
@@ -123,21 +128,23 @@ std::uint64_t kraft_sum(const std::vector<std::uint8_t>& lengths, unsigned max_l
   return sum;
 }
 
-std::vector<CodeEntry> assign_canonical_codes(const std::vector<std::uint8_t>& lengths) {
+void assign_canonical_codes_into(const std::vector<std::uint8_t>& lengths,
+                                 std::vector<CodeEntry>& codes) {
   unsigned max_len = 0;
   for (const auto len : lengths) max_len = std::max<unsigned>(max_len, len);
-  std::vector<CodeEntry> codes(lengths.size());
-  if (max_len == 0) return codes;
+  codes.assign(lengths.size(), CodeEntry{});
+  if (max_len == 0) return;
 
   check(kraft_sum(lengths, max_len) <= (1ull << max_len),
         "huffman: over-subscribed code lengths");
 
-  // DEFLATE RFC 1951 §3.2.2 canonical assignment.
-  std::vector<std::uint32_t> bl_count(max_len + 1, 0);
+  // DEFLATE RFC 1951 §3.2.2 canonical assignment. Lengths are uint8, so
+  // fixed stack arrays cover every possible max_len without a heap trip.
+  std::array<std::uint32_t, 256> bl_count{};
+  std::array<std::uint32_t, 257> next_code{};
   for (const auto len : lengths) {
     if (len != 0) ++bl_count[len];
   }
-  std::vector<std::uint32_t> next_code(max_len + 2, 0);
   std::uint32_t code = 0;
   for (unsigned len = 1; len <= max_len; ++len) {
     code = (code + bl_count[len - 1]) << 1;
@@ -149,6 +156,11 @@ std::vector<CodeEntry> assign_canonical_codes(const std::vector<std::uint8_t>& l
     codes[s].code = static_cast<std::uint16_t>(next_code[len]++);
     codes[s].length = static_cast<std::uint8_t>(len);
   }
+}
+
+std::vector<CodeEntry> assign_canonical_codes(const std::vector<std::uint8_t>& lengths) {
+  std::vector<CodeEntry> codes;
+  assign_canonical_codes_into(lengths, codes);
   return codes;
 }
 

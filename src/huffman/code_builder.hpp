@@ -8,6 +8,11 @@
 // DEFLATE convention so a code is fully described by its per-symbol
 // lengths, which is what the block headers store ("the Huffman trees are
 // written in a canonical representation", §III-A).
+//
+// The `_into` variants write into caller-owned storage and run the
+// package-merge out of a reusable workspace, so a per-worker encode
+// scratch can rebuild both block codes with zero steady-state heap
+// allocations. Results are identical to the plain variants.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +29,43 @@ struct CodeEntry {
   std::uint8_t length = 0;  // 0 = symbol absent from the code
 };
 
+namespace detail {
+
+// One item in a package-merge level list: either a leaf (symbol >= 0) or a
+// package combining two items of the next-lower denomination level.
+struct PmItem {
+  std::uint64_t weight = 0;
+  std::int32_t symbol = -1;  // >= 0 for leaves
+  std::int32_t left = -1;    // indices into the next level's item list
+  std::int32_t right = -1;
+};
+
+}  // namespace detail
+
+/// Reusable storage for build_code_lengths_into. All buffers are cleared
+/// (capacity kept) per call; after the first build of a given alphabet
+/// size and length limit, rebuilds are heap-allocation-free.
+struct CodeBuildWorkspace {
+  std::vector<std::int32_t> active;
+  std::vector<detail::PmItem> leaves;
+  std::vector<std::vector<detail::PmItem>> levels;
+  std::vector<detail::PmItem> packages;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+
+  /// Pre-sizes for alphabets up to `alphabet` symbols and limits up to
+  /// `max_length`, making even the first build allocation-free. Each
+  /// level list holds at most 2n items (n leaves + n/... packages); the
+  /// selection stack grows by at most one entry per pop from 2(n-1).
+  void reserve(std::size_t alphabet, unsigned max_length) {
+    active.reserve(alphabet);
+    leaves.reserve(alphabet);
+    levels.resize(max_length);
+    for (auto& l : levels) l.reserve(2 * alphabet);
+    packages.reserve(alphabet);
+    stack.reserve(2 * alphabet + max_length + 2);
+  }
+};
+
 /// Computes optimal code lengths for `freqs` subject to `max_length`,
 /// using the package-merge algorithm. Symbols with zero frequency get
 /// length 0. Requires 2^max_length >= number of non-zero symbols.
@@ -31,10 +73,21 @@ struct CodeEntry {
 std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs,
                                              unsigned max_length);
 
+/// Workspace variant: writes the lengths into `lengths` (resized) reusing
+/// `ws` buffers. Identical output to build_code_lengths.
+void build_code_lengths_into(const std::vector<std::uint64_t>& freqs,
+                             unsigned max_length, std::vector<std::uint8_t>& lengths,
+                             CodeBuildWorkspace& ws);
+
 /// Assigns canonical (DEFLATE-style) codes from per-symbol lengths.
 /// Throws gompresso::Error if the lengths violate the Kraft inequality
 /// (over-subscribed code).
 std::vector<CodeEntry> assign_canonical_codes(const std::vector<std::uint8_t>& lengths);
+
+/// Storage-reusing variant of assign_canonical_codes (identical output;
+/// `codes` is resized, its capacity reused; no other heap use).
+void assign_canonical_codes_into(const std::vector<std::uint8_t>& lengths,
+                                 std::vector<CodeEntry>& codes);
 
 /// Kraft sum scaled by 2^max_length: sum over symbols of 2^(max_length -
 /// length). Equals 2^max_length for a complete code.

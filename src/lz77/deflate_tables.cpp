@@ -1,96 +1,49 @@
 #include "lz77/deflate_tables.hpp"
 
-#include <array>
 #include <cassert>
 
 namespace gompresso::lz77 {
-namespace {
 
-// RFC 1951 §3.2.5, table for codes 257..285 re-indexed to 0..28.
-constexpr std::array<std::uint16_t, kNumLengthCodes> kLengthBase = {
-    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
-    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
-constexpr std::array<std::uint8_t, kNumLengthCodes> kLengthExtra = {
-    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
-
-constexpr std::array<std::uint16_t, kNumDistanceCodes> kDistBase = {
-    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
-    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
-    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
-constexpr std::array<std::uint8_t, kNumDistanceCodes> kDistExtra = {
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
-
-// Dense lookup: length (3..258) -> bucket.
-struct LengthTable {
-  std::array<std::uint8_t, kMaxMatch - kMinMatch + 1> code{};
-  LengthTable() {
-    for (unsigned c = 0; c < kNumLengthCodes; ++c) {
-      const std::uint32_t lo = kLengthBase[c];
-      const std::uint32_t hi =
-          c + 1 < kNumLengthCodes ? kLengthBase[c + 1] : kMaxMatch + 1;
-      for (std::uint32_t len = lo; len < hi && len <= kMaxMatch; ++len) {
-        code[len - kMinMatch] = static_cast<std::uint8_t>(c);
-      }
-    }
-    // Length 258 has its own dedicated bucket (28).
-    code[kMaxMatch - kMinMatch] = 28;
-  }
-};
-
-// Dense lookup: distance (1..32768) -> bucket.
-struct DistTable {
-  std::array<std::uint8_t, kMaxDistance + 1> code{};
-  DistTable() {
-    for (unsigned c = 0; c < kNumDistanceCodes; ++c) {
-      const std::uint32_t lo = kDistBase[c];
-      const std::uint32_t hi =
-          c + 1 < kNumDistanceCodes ? kDistBase[c + 1] : kMaxDistance + 1;
-      for (std::uint32_t d = lo; d < hi; ++d) code[d] = static_cast<std::uint8_t>(c);
-    }
-  }
-};
-
-const LengthTable kLengthTable;
-const DistTable kDistTable;
-
-}  // namespace
+// The bucket maps themselves are constexpr in the header (dense length
+// table + closed-form distance bit-width); these out-of-line wrappers keep
+// the original readable interface for the baselines, decoders and tests.
 
 BucketCode encode_length(std::uint32_t length) {
   assert(length >= kMinMatch && length <= kMaxMatch);
   BucketCode bc;
-  bc.code = kLengthTable.code[length - kMinMatch];
-  bc.extra_bits = kLengthExtra[bc.code];
-  bc.extra_value = static_cast<std::uint16_t>(length - kLengthBase[bc.code]);
+  bc.code = static_cast<std::uint16_t>(length_code(length));
+  bc.extra_bits = detail::kLengthExtra[bc.code];
+  bc.extra_value = static_cast<std::uint16_t>(length - detail::kLengthBase[bc.code]);
   return bc;
 }
 
 std::uint32_t decode_length(std::uint32_t code, std::uint32_t extra) {
   assert(code < kNumLengthCodes);
-  return kLengthBase[code] + extra;
+  return detail::kLengthBase[code] + extra;
 }
 
 unsigned length_extra_bits(std::uint32_t code) {
   assert(code < kNumLengthCodes);
-  return kLengthExtra[code];
+  return detail::kLengthExtra[code];
 }
 
 BucketCode encode_distance(std::uint32_t distance) {
   assert(distance >= 1 && distance <= kMaxDistance);
   BucketCode bc;
-  bc.code = kDistTable.code[distance];
-  bc.extra_bits = kDistExtra[bc.code];
-  bc.extra_value = static_cast<std::uint16_t>(distance - kDistBase[bc.code]);
+  bc.code = static_cast<std::uint16_t>(distance_code(distance));
+  bc.extra_bits = detail::kDistExtra[bc.code];
+  bc.extra_value = static_cast<std::uint16_t>(distance - detail::kDistBase[bc.code]);
   return bc;
 }
 
 std::uint32_t decode_distance(std::uint32_t code, std::uint32_t extra) {
   assert(code < kNumDistanceCodes);
-  return kDistBase[code] + extra;
+  return detail::kDistBase[code] + extra;
 }
 
 unsigned distance_extra_bits(std::uint32_t code) {
   assert(code < kNumDistanceCodes);
-  return kDistExtra[code];
+  return detail::kDistExtra[code];
 }
 
 }  // namespace gompresso::lz77

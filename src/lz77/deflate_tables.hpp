@@ -4,8 +4,20 @@
 // a Huffman-coded bucket symbol followed by a fixed number of raw extra
 // bits. Using the RFC tables keeps the bit codec auditable against a
 // well-known reference and lets the deflate_like baseline share the code.
+//
+// The bucket maps are exposed two ways:
+//   * encode_length()/encode_distance() return the full BucketCode
+//     (bucket, extra bit count, extra value) — the readable interface the
+//     baselines and tests use.
+//   * length_code()/distance_code() are the constexpr hot-path accessors:
+//     a dense 256-entry table for lengths and a closed-form bit-width
+//     computation for distances (no 32 KiB dense table, no branchy
+//     bucket search). The encoder's fused emit tables are built on top of
+//     these (core/encode_tables).
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 
 namespace gompresso::lz77 {
@@ -22,6 +34,66 @@ struct BucketCode {
   std::uint8_t extra_bits = 0;   // number of raw bits that follow
   std::uint16_t extra_value = 0; // value of those raw bits
 };
+
+namespace detail {
+
+// RFC 1951 §3.2.5, table for codes 257..285 re-indexed to 0..28.
+inline constexpr std::array<std::uint16_t, kNumLengthCodes> kLengthBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+inline constexpr std::array<std::uint8_t, kNumLengthCodes> kLengthExtra = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+inline constexpr std::array<std::uint16_t, kNumDistanceCodes> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+inline constexpr std::array<std::uint8_t, kNumDistanceCodes> kDistExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+// Dense constexpr lookup: length - kMinMatch -> bucket (0..28).
+inline constexpr auto kLengthCodeTable = [] {
+  std::array<std::uint8_t, kMaxMatch - kMinMatch + 1> table{};
+  for (unsigned c = 0; c < kNumLengthCodes; ++c) {
+    const std::uint32_t lo = kLengthBase[c];
+    const std::uint32_t hi = c + 1 < kNumLengthCodes ? kLengthBase[c + 1] : kMaxMatch + 1;
+    for (std::uint32_t len = lo; len < hi && len <= kMaxMatch; ++len) {
+      table[len - kMinMatch] = static_cast<std::uint8_t>(c);
+    }
+  }
+  table[kMaxMatch - kMinMatch] = 28;  // length 258 has its own bucket
+  return table;
+}();
+
+}  // namespace detail
+
+/// Hot-path length bucket: dense constexpr table, no search.
+/// Precondition: kMinMatch <= length <= kMaxMatch.
+constexpr std::uint32_t length_code(std::uint32_t length) {
+  return detail::kLengthCodeTable[length - kMinMatch];
+}
+
+/// Hot-path distance bucket via bit width (the DEFLATE buckets are two
+/// per power of two): for d - 1 >= 4, bucket = 2*(w-1) + next bit below
+/// the top, where w = bit_width(d - 1). Closed form — no dense 32 KiB
+/// table to pull through the cache, no branchy search.
+/// Precondition: 1 <= distance <= kMaxDistance.
+constexpr std::uint32_t distance_code(std::uint32_t distance) {
+  const std::uint32_t d = distance - 1;
+  if (d < 4) return d;
+  const unsigned w = std::bit_width(d);  // >= 3
+  return 2 * (w - 1) + ((d >> (w - 2)) & 1);
+}
+
+/// Base value (smallest member) of a length bucket.
+constexpr std::uint32_t length_base(std::uint32_t code) {
+  return detail::kLengthBase[code];
+}
+
+/// Base value (smallest member) of a distance bucket.
+constexpr std::uint32_t distance_base(std::uint32_t code) {
+  return detail::kDistBase[code];
+}
 
 /// Encodes a match length (3..258) as a length bucket (0..28).
 BucketCode encode_length(std::uint32_t length);

@@ -21,6 +21,9 @@ class ExhaustiveMatcher {
 
   void reset() {}
 
+  /// No dictionary state: a new block needs no reset at all.
+  bool begin_block(std::uint32_t) { return true; }
+
   /// Finds the longest match for input[pos..]; ties go to the *oldest*
   /// candidate, matching the scan order of the parallel implementation.
   /// Honors the DE constraint like the other matchers.
@@ -64,6 +67,7 @@ class ExhaustiveMatcher {
 
   /// No dictionary state: inserts are no-ops (the scan sees everything).
   void insert(ByteSpan, std::uint32_t) {}
+  void insert_span(ByteSpan, std::uint32_t, std::uint32_t) {}
 
   const MatcherConfig& config() const { return config_; }
 

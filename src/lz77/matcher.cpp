@@ -1,100 +1,40 @@
 #include "lz77/matcher.hpp"
 
-#include <algorithm>
-#include <cstring>
-
 namespace gompresso::lz77 {
-namespace {
 
-// Fibonacci-hash of the three bytes at `p` (the trigram key of §IV-B).
-inline std::uint32_t trigram_hash(const std::uint8_t* p, unsigned hash_bits) {
-  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
-                          (static_cast<std::uint32_t>(p[1]) << 8) |
-                          (static_cast<std::uint32_t>(p[2]) << 16);
-  return (v * 2654435761u) >> (32 - hash_bits);
-}
-
-}  // namespace
-
-std::uint32_t match_length(ByteSpan input, std::uint32_t a, std::uint32_t b,
-                           std::uint32_t cap) {
-  const std::uint8_t* pa = input.data() + a;
-  const std::uint8_t* pb = input.data() + b;
-  std::uint32_t len = 0;
-  // 8-byte-at-a-time comparison, then byte tail.
-  while (len + 8 <= cap) {
-    std::uint64_t va, vb;
-    std::memcpy(&va, pa + len, 8);
-    std::memcpy(&vb, pb + len, 8);
-    if (va != vb) {
-      const std::uint64_t diff = va ^ vb;
-      return len + static_cast<std::uint32_t>(std::countr_zero(diff) >> 3);
-    }
-    len += 8;
-  }
-  while (len < cap && pa[len] == pb[len]) ++len;
-  return len;
-}
+// Table entries are generation-biased positions (entry = base_ + pos);
+// anything below base_ reads as empty. A full reset therefore fills with
+// 0 (always below base_, which starts at 1), and the per-block reset just
+// advances base_ past the previous block's positions — no fill at all
+// until the 32-bit bias runs out (~4 GiB parsed through one matcher).
 
 // ---------------------------------------------------------------------------
 // HashMatcher
 
 HashMatcher::HashMatcher(const MatcherConfig& config)
-    : config_(config), table_(std::size_t{1} << config.hash_bits, kEmpty) {
+    : config_(config), table_(std::size_t{1} << config.hash_bits, 0) {
   check(config.hash_bits >= 8 && config.hash_bits <= 24, "matcher: bad hash_bits");
   check(config.min_match >= 3, "matcher: min_match must be >= 3");
   check(config.max_match >= config.min_match, "matcher: max_match < min_match");
 }
 
 void HashMatcher::reset() {
-  std::fill(table_.begin(), table_.end(), kEmpty);
+  std::fill(table_.begin(), table_.end(), 0u);
+  base_ = 1;
+  block_span_ = 0;
 }
 
-std::uint32_t HashMatcher::hash(ByteSpan input, std::uint32_t pos) const {
-  return trigram_hash(input.data() + pos, config_.hash_bits);
-}
-
-Match HashMatcher::find(ByteSpan input, std::uint32_t pos, std::uint32_t start_limit,
-                        const DeConstraint* de) const {
-  Match best;
-  if (pos + config_.min_match > input.size()) return best;
-  const std::uint32_t max_cap = static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(config_.max_match, input.size() - pos));
-
-  auto consider = [&](std::uint32_t cand) {
-    if (cand == kEmpty || cand >= start_limit) return;
-    if (pos - cand > config_.window_size) return;
-    std::uint32_t cap = max_cap;
-    if (de != nullptr) cap = std::min<std::uint32_t>(cap, de->allowed_cap(cand));
-    if (cap < config_.min_match || cap <= best.len) return;
-    const std::uint32_t len = match_length(input, cand, pos, cap);
-    if (len >= config_.min_match && len > best.len) {
-      best.pos = cand;
-      best.len = len;
-    }
-  };
-
-  consider(table_[hash(input, pos)]);
-  // RLE probe: the immediately preceding byte. Runs compress as
-  // distance-1 overlapping matches; the minimal-staleness table
-  // deliberately keeps *old* entries, so without this probe runs would
-  // only be found when the table entry happens to be adjacent.
-  if (pos >= 1) consider(pos - 1);
-  return best;
-}
-
-void HashMatcher::insert(ByteSpan input, std::uint32_t pos) {
-  if (pos + 3 > input.size()) return;
-  std::uint32_t& slot = table_[hash(input, pos)];
-  // Minimal-staleness replacement (§IV-B): keep the older entry unless it
-  // has fallen more than `staleness` bytes behind the cursor. Older
-  // entries are more likely to lie below the warp HWM and therefore to be
-  // usable by the DE parser. staleness == 0 disables the policy (always
-  // replace, the stock LZ4 behaviour).
-  if (slot != kEmpty && config_.staleness != 0) {
-    if (pos - slot <= config_.staleness) return;
+bool HashMatcher::begin_block(std::uint32_t block_size) {
+  // The bias must leave room for base_ + pos of every position the new
+  // block can insert, and must stay below the kEmpty sentinel.
+  if (std::uint64_t{base_} + block_span_ + block_size > kNoLimit - 1) {
+    reset();
+    block_span_ = block_size;
+    return false;
   }
-  slot = pos;
+  base_ += block_span_;
+  block_span_ = block_size;
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -103,72 +43,31 @@ void HashMatcher::insert(ByteSpan input, std::uint32_t pos) {
 ChainMatcher::ChainMatcher(const MatcherConfig& config, std::uint32_t max_chain_depth)
     : config_(config),
       max_chain_depth_(max_chain_depth),
-      head_(std::size_t{1} << config.hash_bits, kEmpty),
-      prev_(config.window_size, kEmpty) {
+      head_(std::size_t{1} << config.hash_bits, 0),
+      prev_(config.window_size, 0) {
+  check(config.hash_bits >= 8 && config.hash_bits <= 24, "matcher: bad hash_bits");
+  check(config.min_match >= 3, "matcher: min_match must be >= 3");
+  check(config.max_match >= config.min_match, "matcher: max_match < min_match");
   check(is_pow2(config.window_size), "chain matcher: window must be a power of two");
   check(max_chain_depth >= 1, "chain matcher: depth must be >= 1");
 }
 
 void ChainMatcher::reset() {
-  std::fill(head_.begin(), head_.end(), kEmpty);
-  std::fill(prev_.begin(), prev_.end(), kEmpty);
+  std::fill(head_.begin(), head_.end(), 0u);
+  std::fill(prev_.begin(), prev_.end(), 0u);
+  base_ = 1;
+  block_span_ = 0;
 }
 
-std::uint32_t ChainMatcher::hash(ByteSpan input, std::uint32_t pos) const {
-  return trigram_hash(input.data() + pos, config_.hash_bits);
-}
-
-Match ChainMatcher::find(ByteSpan input, std::uint32_t pos, std::uint32_t start_limit,
-                         const DeConstraint* de) const {
-  Match best;
-  if (pos + config_.min_match > input.size()) return best;
-  std::uint32_t cand = head_[hash(input, pos)];
-  const std::uint32_t max_cap =
-      static_cast<std::uint32_t>(std::min<std::uint64_t>(config_.max_match, input.size() - pos));
-
-  const bool prefer_older = config_.prefer_older_matches;
-  std::uint32_t depth = max_chain_depth_;
-  while (cand != kEmpty && depth-- > 0) {
-    if (pos - cand > config_.window_size) break;  // chain left the window
-    if (cand < start_limit) {
-      std::uint32_t cap = max_cap;
-      if (de != nullptr) cap = std::min<std::uint32_t>(cap, de->allowed_cap(cand));
-      if (cap >= config_.min_match) {
-        const std::uint32_t len = match_length(input, cand, pos, cap);
-        // The chain runs recent -> old, so ">=" keeps the oldest among
-        // equal-length candidates (exhaustive-matcher behaviour).
-        if (len >= config_.min_match &&
-            (prefer_older ? len >= best.len : len > best.len)) {
-          best.pos = cand;
-          best.len = len;
-          if (!prefer_older && len == max_cap) break;  // cannot improve
-        }
-      }
-    }
-    const std::uint32_t next = prev_[cand & (config_.window_size - 1)];
-    if (next != kEmpty && next >= cand) break;  // stale ring slot, stop
-    cand = next;
+bool ChainMatcher::begin_block(std::uint32_t block_size) {
+  if (std::uint64_t{base_} + block_span_ + block_size > kNoLimit - 1) {
+    reset();
+    block_span_ = block_size;
+    return false;
   }
-  // RLE probe (see HashMatcher::find).
-  if (pos >= 1 && pos - 1 < start_limit) {
-    std::uint32_t cap = max_cap;
-    if (de != nullptr) cap = std::min<std::uint32_t>(cap, de->allowed_cap(pos - 1));
-    if (cap >= config_.min_match && cap > best.len) {
-      const std::uint32_t len = match_length(input, pos - 1, pos, cap);
-      if (len >= config_.min_match && len > best.len) {
-        best.pos = pos - 1;
-        best.len = len;
-      }
-    }
-  }
-  return best;
-}
-
-void ChainMatcher::insert(ByteSpan input, std::uint32_t pos) {
-  if (pos + 3 > input.size()) return;
-  std::uint32_t& slot = head_[hash(input, pos)];
-  prev_[pos & (config_.window_size - 1)] = slot;
-  slot = pos;
+  base_ += block_span_;
+  block_span_ = block_size;
+  return true;
 }
 
 }  // namespace gompresso::lz77

@@ -10,6 +10,14 @@
 // no back-reference depends on the output of another back-reference
 // resolved by the same warp group, so decompression resolves every group
 // in a single round.
+//
+// Two entry points per matcher type:
+//   * parse_block() — constructs a fresh matcher and returns a fresh
+//     TokenBlock (the original interface, used by the baselines).
+//   * parse_block_into() — reuses a caller-owned matcher (cheap
+//     generational reset, see matcher.hpp) and a caller-owned TokenBlock
+//     (cleared, capacity kept). This is the encode fast path's
+//     allocation-free variant; it produces bit-identical sequences.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,9 @@ struct ParserOptions {
 };
 
 /// Statistics gathered during a parse (used by the DE benchmarks).
+/// Gathering them is not free: with DE enabled, every literal position
+/// runs a second, unconstrained matcher probe to count
+/// matches_rejected_by_hwm — so pass stats = nullptr on the hot path.
 struct ParseStats {
   std::uint64_t sequences = 0;
   std::uint64_t match_bytes = 0;
@@ -46,6 +57,17 @@ template <typename Matcher, typename... MatcherArgs>
 TokenBlock parse_block(ByteSpan block, const ParserOptions& options,
                        ParseStats* stats, MatcherArgs&&... matcher_args);
 
+/// Parses one data block into `out` (cleared, capacity reused) with a
+/// caller-owned matcher reset via its cheap generational begin_block().
+/// `de_ws`, when non-null, is a caller-owned DeConstraint whose interval
+/// storage is reused across blocks (the last piece of an allocation-free
+/// steady state). Decisions are identical to parse_block with a fresh
+/// matcher.
+template <typename Matcher>
+void parse_block_into(ByteSpan block, const ParserOptions& options, Matcher& matcher,
+                      TokenBlock& out, ParseStats* stats = nullptr,
+                      DeConstraint* de_ws = nullptr);
+
 /// Convenience wrapper using the single-slot HashMatcher (the Gompresso
 /// configuration).
 TokenBlock parse(ByteSpan block, const ParserOptions& options,
@@ -59,15 +81,16 @@ TokenBlock parse_chained(ByteSpan block, const ParserOptions& options,
 // ---------------------------------------------------------------------------
 // Template implementation
 
-template <typename Matcher, typename... MatcherArgs>
-TokenBlock parse_block(ByteSpan block, const ParserOptions& options,
-                       ParseStats* stats, MatcherArgs&&... matcher_args) {
+template <typename Matcher>
+void parse_block_into(ByteSpan block, const ParserOptions& options, Matcher& matcher,
+                      TokenBlock& out, ParseStats* stats, DeConstraint* de_ws) {
   check(block.size() <= kNoLimit / 2, "parse: block too large");
-  Matcher matcher(options.matcher, std::forward<MatcherArgs>(matcher_args)...);
+  matcher.begin_block(static_cast<std::uint32_t>(block.size()));
 
-  TokenBlock out;
+  out.sequences.clear();
+  out.literals.clear();
   out.uncompressed_size = static_cast<std::uint32_t>(block.size());
-  out.literals.reserve(block.size() / 4);
+  if (out.literals.capacity() < block.size() / 4) out.literals.reserve(block.size() / 4);
 
   const std::uint32_t size = static_cast<std::uint32_t>(block.size());
   const bool de = options.dependency_elimination;
@@ -80,7 +103,9 @@ TokenBlock parse_block(ByteSpan block, const ParserOptions& options,
   // already-emitted back-references: those are the only forbidden source
   // bytes, since all of a group's *literals* are written before any of
   // its back-references resolve (§III-B).
-  DeConstraint constraint;
+  DeConstraint local_constraint;
+  DeConstraint& constraint = de_ws != nullptr ? *de_ws : local_constraint;
+  constraint.begin_group(0);       // fresh per-block state, storage reused
   std::uint32_t seq_in_group = 0;  // Fig. 7 loop counter `s`
 
   // Closes the current literal string with the given match (possibly
@@ -111,7 +136,7 @@ TokenBlock parse_block(ByteSpan block, const ParserOptions& options,
         matcher.find(block, pos, /*start_limit=*/pos, de ? &constraint : nullptr);
     if (match.found()) {
       // Fig. 7 line 11: update the dictionary with the back-reference.
-      for (std::uint32_t p = pos; p < pos + match.len; ++p) matcher.insert(block, p);
+      matcher.insert_span(block, pos, pos + match.len);
       emit_sequence(match.len, pos - match.pos);
     } else {
       if (stats && de) {
@@ -133,6 +158,14 @@ TokenBlock parse_block(ByteSpan block, const ParserOptions& options,
   }
   // Terminating sequence: the tail literal string with no back-reference.
   emit_sequence(0, 0);
+}
+
+template <typename Matcher, typename... MatcherArgs>
+TokenBlock parse_block(ByteSpan block, const ParserOptions& options,
+                       ParseStats* stats, MatcherArgs&&... matcher_args) {
+  Matcher matcher(options.matcher, std::forward<MatcherArgs>(matcher_args)...);
+  TokenBlock out;
+  parse_block_into(block, options, matcher, out, stats);
   return out;
 }
 

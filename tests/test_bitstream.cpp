@@ -161,6 +161,84 @@ TEST(BitReader, StartOffsetBeyondEnd) {
   EXPECT_TRUE(r.overflowed());
 }
 
+TEST(BitWriter, UncheckedRunMatchesCheckedWrites) {
+  // The zstd-style unchecked path must produce the exact bytes of the
+  // checked path, for any interleaving and any pending-bit alignment.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<std::uint64_t, unsigned>> tokens;
+    std::uint64_t total_bits = 0;
+    for (int i = 0; i < 500; ++i) {
+      const unsigned width = 1 + static_cast<unsigned>(rng.next_below(57));
+      const std::uint64_t value =
+          rng.next_u64() & (width == 64 ? ~0ull : (1ull << width) - 1);
+      tokens.emplace_back(value, width);
+      total_bits += width;
+    }
+    BitWriter checked, unchecked;
+    const unsigned lead = static_cast<unsigned>(rng.next_below(8));
+    checked.write(1, lead + 1);  // unaligned pending bits before the run
+    unchecked.write(1, lead + 1);
+    for (const auto& [value, width] : tokens) checked.write(value, width);
+    unchecked.begin_run(total_bits);
+    for (const auto& [value, width] : tokens) unchecked.write_unchecked(value, width);
+    unchecked.end_run();
+    ASSERT_EQ(checked.bit_count(), unchecked.bit_count());
+    ASSERT_EQ(checked.finish(), unchecked.finish());
+  }
+}
+
+TEST(BitWriter, UncheckedRunsInterleaveWithCheckedWrites) {
+  BitWriter w, ref;
+  ref.write(0x2A, 6);
+  ref.write(0x1FFFF, 17);
+  ref.write(0x5, 3);
+  w.write(0x2A, 6);
+  w.begin_run(17);
+  w.write_unchecked(0x1FFFF, 17);
+  w.end_run();
+  w.write(0x5, 3);
+  EXPECT_EQ(ref.finish(), w.finish());
+}
+
+TEST(BitWriter, FlushIntoAppendsAndKeepsCapacity) {
+  BitWriter w;
+  w.write(0xABC, 12);
+  Bytes out{0xFF};
+  w.flush_into(out);
+  EXPECT_EQ(out, (Bytes{0xFF, 0xBC, 0x0A}));
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write(0x3, 2);  // writer is reusable
+  Bytes out2;
+  w.flush_into(out2);
+  EXPECT_EQ(out2, Bytes{0x03});
+}
+
+TEST(BitWriter, AppendBitsSplicesAtBitGranularity) {
+  // Lane writers emit independently; append_bits must splice their
+  // streams so the result equals one sequential writer.
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    BitWriter sequential;
+    BitWriter spliced;
+    for (int lane = 0; lane < 4; ++lane) {
+      BitWriter part;
+      const int n = 1 + static_cast<int>(rng.next_below(40));
+      for (int i = 0; i < n; ++i) {
+        const unsigned width = 1 + static_cast<unsigned>(rng.next_below(30));
+        const std::uint64_t value = rng.next_u64() & ((1ull << width) - 1);
+        sequential.write(value, width);
+        part.write(value, width);
+      }
+      const std::uint64_t part_bits = part.bit_count();
+      const Bytes part_bytes = part.finish();
+      spliced.append_bits(part_bytes, part_bits);
+    }
+    ASSERT_EQ(sequential.bit_count(), spliced.bit_count());
+    ASSERT_EQ(sequential.finish(), spliced.finish());
+  }
+}
+
 // Property sweep: random (value, width) streams round-trip at every
 // starting alignment.
 class BitstreamRoundTrip : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
