@@ -2,6 +2,7 @@
 
 #include "core/bit_codec.hpp"
 #include "core/byte_codec.hpp"
+#include "core/resolve_parallel.hpp"
 #include "core/tans_codec.hpp"
 #include "core/warp_lz77.hpp"
 #include "util/crc32.hpp"
@@ -64,13 +65,24 @@ void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc
     }
     check(tokens->uncompressed_size == out.size(), "decompress: block size mismatch");
 
-    // Phase 2: warp-parallel LZ77 resolution, accumulating straight into
-    // the context's metrics (all WarpMetrics updates are additive).
+    // Phase 2: LZ77 resolution, accumulating straight into the context's
+    // metrics (all WarpMetrics updates are additive). With a lane pool
+    // the block's warp groups are sharded across the pool's threads with
+    // a completed-watermark handoff (resolve_parallel.hpp); otherwise —
+    // and for blocks too small to shard — the serial warp simulator
+    // runs. The kMultiPass variant keeps its spill semantics regardless.
     if (strategy == Strategy::kMultiPass) {
       MultiPassStats block_multipass;
       resolve_block_multipass(tokens->sequences, tokens->literals.data(),
-                              tokens->literals.size(), out, &block_multipass);
+                              tokens->literals.size(), out, &block_multipass,
+                              &ctx.scratch.multipass_ws);
       ctx.multipass.merge(block_multipass);
+    } else if (lane_pool != nullptr &&
+               resolve_block_sharded(tokens->sequences, tokens->literals.data(),
+                                     tokens->literals.size(), out, strategy,
+                                     ctx.scratch.resolve, *lane_pool, &ctx.metrics,
+                                     &ctx.scratch.stats.resolve_deferrals)) {
+      ++ctx.scratch.stats.resolve_fanouts;
     } else {
       resolve_block(tokens->sequences, tokens->literals.data(),
                     tokens->literals.size(), out, strategy, &ctx.metrics);

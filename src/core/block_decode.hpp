@@ -36,8 +36,10 @@ Strategy resolve_strategy(const DecompressOptions& options,
 /// Decodes one block payload (CRC32 + mode byte + codec body, i.e. the
 /// byte range the header's size list assigns to the block) into `out`,
 /// which must be sized to the block's uncompressed length. `lane_pool`
-/// optionally fans the bit codec's sub-block lanes out across a pool
-/// (single-block files); pass nullptr to stay on the calling thread.
+/// optionally fans both decode phases of the block out across a pool
+/// (single-block files): phase-1 token decode by sub-block lane, and
+/// phase-2 LZ77 resolution by warp-group shard with a completed-
+/// watermark handoff. Pass nullptr to stay on the calling thread.
 void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc,
                      MutableByteSpan out, Strategy strategy, bool verify_checksum,
                      BlockDecodeContext& ctx, ThreadPool* lane_pool = nullptr);

@@ -68,9 +68,10 @@ DecompressResult decompress(ByteSpan file, const DecompressOptions& options) {
       decompress_one(workers[worker], b, nullptr);
     });
   } else {
-    // A single block cannot use inter-block parallelism at all: fan its
-    // sub-block decode lanes (record-array chunks for /Byte) out across
-    // the pool instead — every codec supports the lane-pool path.
+    // A single block cannot use inter-block parallelism at all: fan both
+    // of its decode phases out across the pool instead — phase-1 token
+    // decode by sub-block lane (every codec), then phase-2 LZ77
+    // resolution by warp-group shard with a completed-watermark handoff.
     workers.resize(1);
     decompress_one(workers[0], 0, pool);
   }

@@ -3,11 +3,13 @@
 //
 // Thread plan: with at least as many blocks as pool participants, workers
 // pull whole blocks from the common queue (the paper's inter-block
-// parallelism). A single-block file cannot use that at all, so its
-// sub-block decode lanes are fanned out across the pool instead (the
-// paper's warp lanes, executed as real threads). Every worker owns a
-// DecodeScratch arena and private metric accumulators, merged once at the
-// end — the steady-state block loop takes no locks and performs no heap
+// parallelism). A single-block file cannot use that at all, so both of
+// its decode phases are fanned out across the pool instead: token decode
+// by sub-block lane (the paper's warp lanes, executed as real threads)
+// and LZ77 resolution by warp-group shard with a completed-watermark
+// handoff (core/resolve_parallel.hpp). Every worker owns a DecodeScratch
+// arena and private metric accumulators, merged once at the end — the
+// steady-state block loop takes no locks and performs no heap
 // allocations.
 #pragma once
 
@@ -28,9 +30,12 @@ struct DecompressResult {
   core::MultiPassStats multipass;  // populated only for kMultiPass
   /// Decode-arena reuse counters (all codecs). In the steady state every
   /// block is a buffer_reuse (arenas are pre-reserved from the header
-  /// bound), and scratch.lane_fanouts counts blocks whose sub-block
-  /// lanes were decoded thread-parallel (the intra-block path taken for
-  /// a single-block file on a multi-thread pool).
+  /// bound); scratch.lane_fanouts counts blocks whose sub-block lanes
+  /// were decoded thread-parallel and scratch.resolve_fanouts blocks
+  /// whose LZ77 resolution ran sharded (both intra-block paths taken for
+  /// a single-block file on a multi-thread pool). resolve_deferrals
+  /// counts back-references that crossed a shard boundary and resolved
+  /// in a phase-B watermark sweep.
   core::ScratchStats scratch;
 };
 

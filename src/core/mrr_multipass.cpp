@@ -4,33 +4,15 @@
 #include <cstring>
 #include <vector>
 
+#include "core/resolve_common.hpp"
 #include "simt/warp.hpp"
 
 namespace gompresso::core {
-namespace {
-
-/// One spilled (unresolved) back-reference in the worklist. 16 bytes, the
-/// unit of the variant's extra memory traffic.
-struct PendingRef {
-  std::uint64_t write_pos = 0;  // where the copy lands
-  std::uint32_t dist = 0;
-  std::uint32_t len = 0;
-};
-
-inline void copy_forward(std::uint8_t* out, std::uint64_t dst, std::uint64_t src,
-                         std::uint32_t len) {
-  if (dst - src >= len) {
-    std::memcpy(out + dst, out + src, len);
-  } else {
-    for (std::uint32_t i = 0; i < len; ++i) out[dst + i] = out[src + i];
-  }
-}
-
-}  // namespace
 
 void resolve_block_multipass(std::span<const lz77::Sequence> sequences,
                              const std::uint8_t* literals, std::size_t literal_count,
-                             MutableByteSpan out, MultiPassStats* stats) {
+                             MutableByteSpan out, MultiPassStats* stats,
+                             MultiPassWorkspace* workspace) {
   // Pass 0 ("first kernel"): the warp walks its groups without ever
   // stalling — all 32 lanes of a group run in lock step, write their
   // literal strings, copy the back-references that are resolvable right
@@ -41,7 +23,10 @@ void resolve_block_multipass(std::span<const lz77::Sequence> sequences,
   // (the lanes are concurrent) nor on anything above the first spilled
   // reference (tracking finer-grained availability is the "increased
   // complexity" the paper cites against this variant).
-  std::vector<PendingRef> pending;
+  MultiPassWorkspace local;
+  MultiPassWorkspace& ws = workspace ? *workspace : local;
+  std::vector<PendingRef>& pending = ws.pending;
+  pending.clear();
   std::uint64_t lit_cursor = 0;
   std::uint64_t out_cursor = 0;
 
@@ -68,36 +53,15 @@ void resolve_block_multipass(std::span<const lz77::Sequence> sequences,
       out_cursor += seq.match_len;
     }
 
-    // Dependency tracking ("the increased complexity of tracking when a
-    // dependency can be resolved"): a source interval below the group
-    // base is available unless it intersects the output interval of a
-    // still-pending earlier reference. The pending list is ordered by
-    // write position and its intervals are disjoint, so a binary search
-    // suffices. Only earlier-group refs live in `pending` here — this
-    // group's spills land below only after the group completes (the
-    // capped range never reaches them).
-    auto intersects_pending = [&](std::uint64_t s, std::uint64_t e) {
-      if (s >= e) return false;
-      const auto it = std::partition_point(
-          pending.begin(), pending.end(),
-          [&](const PendingRef& r) { return r.write_pos + r.len <= s; });
-      return it != pending.end() && it->write_pos < e;
-    };
-
-    // Availability of the in-group part [group_base, src_end): literal
-    // intervals of this group plus the lane's own forward copy.
-    auto group_part_available = [&](unsigned lane, std::uint64_t src,
-                                    std::uint64_t src_end) {
-      std::uint64_t covered = std::max(src, group_base);
-      for (unsigned j = 0; j < lanes && covered < src_end; ++j) {
-        if (own_start[j] > covered) break;  // a back-ref output gap
-        if (covered < write_pos[j]) covered = write_pos[j];
-      }
-      if (covered >= src_end) return true;
-      return covered >= own_start[lane];  // remaining bytes: own forward copy
-    };
-
-    // Back-reference phase: copy or spill, in lock step.
+    // Back-reference phase: copy or spill, in lock step. A source
+    // interval below the group base is available unless it intersects
+    // the output interval of a still-pending earlier reference ("the
+    // increased complexity of tracking when a dependency can be
+    // resolved"); the in-group part may rely on the group's literal
+    // intervals and the lane's own forward copy. Only earlier-group refs
+    // live in `pending` during the capped below-base probe — this
+    // group's spills land at or above group_base, which the probe never
+    // reaches.
     for (unsigned lane = 0; lane < lanes; ++lane) {
       const lz77::Sequence& seq = sequences[first + lane];
       if (seq.match_len == 0) continue;
@@ -106,11 +70,12 @@ void resolve_block_multipass(std::span<const lz77::Sequence> sequences,
       const std::uint64_t src = write_pos[lane] - seq.match_dist;
       const std::uint64_t src_end = src + seq.match_len;
       const bool resolvable =
-          !intersects_pending(src, std::min(src_end, group_base)) &&
+          !intersects_pending(pending, src, std::min(src_end, group_base)) &&
           (src_end <= group_base || src >= own_start[lane] ||
-           group_part_available(lane, src, src_end));
+           group_part_available(own_start.data(), write_pos.data(), lanes, lane,
+                                group_base, src, src_end));
       if (resolvable) {
-        copy_forward(out.data(), write_pos[lane], src, seq.match_len);
+        copy_backref(out.data(), write_pos[lane], src, seq.match_len);
       } else {
         pending.push_back({write_pos[lane], seq.match_dist, seq.match_len});
       }
@@ -137,9 +102,10 @@ void resolve_block_multipass(std::span<const lz77::Sequence> sequences,
   // complexity of tracking when a dependency can be resolved" that made
   // the paper reject the design. MultiPassStats carries the traffic so
   // the K40 model can charge it.
+  std::vector<PendingRef>& next = ws.next;
   while (!pending.empty()) {
     if (stats) ++stats->passes;
-    std::vector<PendingRef> next;
+    next.clear();
     std::size_t resolved = 0;
     for (const auto& ref : pending) {
       // Gap-free watermark: the first reference that is still unresolved
@@ -152,7 +118,7 @@ void resolve_block_multipass(std::span<const lz77::Sequence> sequences,
       // write_pos <= watermark.)
       const bool resolvable = src_end <= watermark || ref.write_pos <= watermark;
       if (resolvable) {
-        copy_forward(out.data(), ref.write_pos, src, ref.len);
+        copy_backref(out.data(), ref.write_pos, src, ref.len);
         ++resolved;
       } else {
         next.push_back(ref);

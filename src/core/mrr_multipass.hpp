@@ -19,7 +19,9 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
+#include "core/resolve_common.hpp"
 #include "lz77/sequence.hpp"
 #include "simt/warp.hpp"
 #include "util/common.hpp"
@@ -39,10 +41,20 @@ struct MultiPassStats {
   }
 };
 
+/// Reusable worklist storage (the variant's "device memory"). A caller
+/// that resolves many blocks keeps one workspace so the steady-state
+/// block loop allocates nothing; the semantics are unchanged.
+struct MultiPassWorkspace {
+  std::vector<PendingRef> pending;
+  std::vector<PendingRef> next;
+};
+
 /// Resolves all sequences of one block into `out` using the multi-pass
 /// spill variant. Semantics are identical to resolve_block with MRR.
+/// `workspace` (optional) supplies reusable worklist storage.
 void resolve_block_multipass(std::span<const lz77::Sequence> sequences,
                              const std::uint8_t* literals, std::size_t literal_count,
-                             MutableByteSpan out, MultiPassStats* stats = nullptr);
+                             MutableByteSpan out, MultiPassStats* stats = nullptr,
+                             MultiPassWorkspace* workspace = nullptr);
 
 }  // namespace gompresso::core

@@ -3,35 +3,14 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/resolve_common.hpp"
+
 namespace gompresso::core {
 namespace {
 
 using simt::kWarpSize;
 using simt::LaneArray;
 using simt::LaneMask;
-
-/// Copies `len` bytes within `out` from `src` to `dst` (dst > src).
-/// Overlapping regions (dst - src < len) replicate the dist-byte pattern
-/// forward — the LZ77 run semantics — via pattern doubling: once the
-/// first `dist` bytes are placed, the written prefix itself is a valid
-/// (non-overlapping) source for ever larger memcpys.
-inline void copy_backref(std::uint8_t* out, std::uint64_t dst, std::uint64_t src,
-                         std::uint32_t len) {
-  const std::uint64_t dist = dst - src;
-  if (dist >= len) {
-    std::memcpy(out + dst, out + src, len);
-  } else if (dist == 1) {
-    std::memset(out + dst, out[src], len);
-  } else {
-    std::memcpy(out + dst, out + src, dist);
-    std::uint32_t copied = static_cast<std::uint32_t>(dist);
-    while (copied < len) {
-      const std::uint32_t chunk = std::min(copied, len - copied);
-      std::memcpy(out + dst + copied, out + dst, chunk);
-      copied += chunk;
-    }
-  }
-}
 
 /// Per-group lane state, loaded once per 32-sequence group. The arrays
 /// are deliberately left uninitialized — prepare_group fills lanes
@@ -172,16 +151,8 @@ void resolve_group_mrr(const GroupState& g, MutableByteSpan out,
 /// literal start (forward self-copy).
 bool de_source_available(const GroupState& g, unsigned lane, std::uint64_t src,
                          std::uint64_t src_end) {
-  std::uint64_t covered = src;
-  if (covered < g.group_out_base) covered = g.group_out_base;
-  // Literal intervals are [out_start[j], write_pos[j]), ascending in j.
-  for (unsigned j = 0; j < g.lanes && covered < src_end; ++j) {
-    if (g.out_start[j] > covered) break;  // gap: covered byte is a match output
-    if (covered < g.write_pos[j]) covered = g.write_pos[j];
-  }
-  if (covered >= src_end) return true;
-  // Remaining bytes must be the lane's own output (self-overlap).
-  return covered >= g.out_start[lane];
+  return group_part_available(g.out_start.data(), g.write_pos.data(), g.lanes, lane,
+                              g.group_out_base, src, src_end);
 }
 
 /// Strategy DE: the stream was compressed with dependency elimination, so

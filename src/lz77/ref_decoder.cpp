@@ -1,28 +1,42 @@
 #include "lz77/ref_decoder.hpp"
 
+#include "core/resolve_common.hpp"
+
 namespace gompresso::lz77 {
 
-void append_sequence(Bytes& out, const Sequence& seq, const std::uint8_t* literal) {
-  out.insert(out.end(), literal, literal + seq.literal_len);
-  if (seq.match_len == 0) return;
-  check(seq.match_dist >= 1 && seq.match_dist <= out.size(),
-        "lz77: back-reference past start of block");
-  // Byte-wise forward copy: correct for overlapping matches (dist < len),
-  // where the copy reads bytes it has just written (RLE-style runs).
-  std::size_t src = out.size() - seq.match_dist;
-  for (std::uint32_t i = 0; i < seq.match_len; ++i) out.push_back(out[src + i]);
+std::uint64_t resolve_span(std::span<const Sequence> sequences,
+                           const std::uint8_t* literals, std::size_t literal_count,
+                           MutableByteSpan window, std::uint64_t base) {
+  check(base <= window.size(), "lz77: span base past end of window");
+  std::uint64_t out = base;
+  std::uint64_t lit_cursor = 0;
+  for (const Sequence& seq : sequences) {
+    check(lit_cursor + seq.literal_len <= literal_count,
+          "lz77: literal buffer overrun");
+    check(out + seq.literal_len + seq.match_len <= window.size(),
+          "lz77: output overrun");
+    if (seq.literal_len != 0) {
+      std::memcpy(window.data() + out, literals + lit_cursor, seq.literal_len);
+      lit_cursor += seq.literal_len;
+      out += seq.literal_len;
+    }
+    if (seq.match_len == 0) continue;
+    check(seq.match_dist >= 1 && seq.match_dist <= out,
+          "lz77: back-reference past start of block");
+    core::copy_backref(window.data(), out, out - seq.match_dist, seq.match_len);
+    out += seq.match_len;
+  }
+  check(lit_cursor == literal_count, "lz77: literal count mismatch");
+  return out - base;
 }
 
 Bytes decode_reference(const TokenBlock& block) {
   validate(block);
-  Bytes out;
-  out.reserve(block.uncompressed_size);
-  const std::uint8_t* lit = block.literals.data();
-  for (const auto& seq : block.sequences) {
-    append_sequence(out, seq, lit);
-    lit += seq.literal_len;
-  }
-  check(out.size() == block.uncompressed_size, "lz77: size mismatch after decode");
+  Bytes out(block.uncompressed_size);
+  const std::uint64_t written =
+      resolve_span(block.sequences, block.literals.data(), block.literals.size(),
+                   out, /*base=*/0);
+  check(written == block.uncompressed_size, "lz77: size mismatch after decode");
   return out;
 }
 

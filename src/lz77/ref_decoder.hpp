@@ -4,6 +4,8 @@
 // as the inner loop of the CPU baseline codecs.
 #pragma once
 
+#include <span>
+
 #include "lz77/sequence.hpp"
 #include "util/common.hpp"
 
@@ -14,9 +16,19 @@ namespace gompresso::lz77 {
 /// literal buffer mismatch, size mismatch).
 Bytes decode_reference(const TokenBlock& block);
 
-/// Appends one resolved sequence to `out` (shared helper).
-/// `literal` points at this sequence's literal bytes.
-void append_sequence(Bytes& out, const Sequence& seq, const std::uint8_t* literal);
+/// Sequential span-resolving kernel: resolves `sequences` into `window`
+/// starting at absolute offset `base`. Literal strings and matches are
+/// written from window[base] onward; back-references may read any window
+/// byte below their write position, including [0, base) — the caller
+/// guarantees that prefix is already resolved. This is the oracle the
+/// sharded resolver's shards are checked against (resolve one shard's
+/// range at its output base over a window whose prefix is done), and
+/// what decode_reference runs over the whole block at base 0. Returns
+/// the number of bytes written. Throws gompresso::Error on malformed
+/// input (bounds are checked before every write).
+std::uint64_t resolve_span(std::span<const Sequence> sequences,
+                           const std::uint8_t* literals, std::size_t literal_count,
+                           MutableByteSpan window, std::uint64_t base);
 
 /// Validates structural invariants of a token block without decoding:
 /// distances within bounds, literal byte count consistent, terminator

@@ -1,0 +1,23 @@
+// Trial budget for the adversarial mutation-fuzz tests.
+//
+// PR runs keep the quick 300-trial mode; the nightly CI schedule exports
+// GOMPRESSO_FUZZ_TRIALS (10x budget) so the same tests sweep a much
+// larger mutation space when wall-clock is cheap. Local runs can export
+// it too for a longer soak.
+#pragma once
+
+#include <cstdlib>
+
+namespace gompresso::testing {
+
+/// Returns the env-configured mutation-fuzz trial count, or `base` when
+/// GOMPRESSO_FUZZ_TRIALS is unset or unparseable.
+inline int fuzz_trials(int base) {
+  if (const char* env = std::getenv("GOMPRESSO_FUZZ_TRIALS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0 && v <= 1000000) return static_cast<int>(v);
+  }
+  return base;
+}
+
+}  // namespace gompresso::testing

@@ -6,6 +6,7 @@
 #include "datagen/datasets.hpp"
 #include "lz77/parser.hpp"
 #include "lz77/ref_decoder.hpp"
+#include "tests/fuzz_budget.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "util/varint.hpp"
@@ -133,7 +134,8 @@ TEST(ByteCodec, RandomMutationFuzzNeverCrashes) {
   const lz77::TokenBlock tokens = parse_dataset(1, 30000);
   const Bytes payload = encode_block_byte(tokens);
   Rng rng(0xB17E);
-  for (int trial = 0; trial < 300; ++trial) {
+  const int trials = gompresso::testing::fuzz_trials(300);  // nightly CI: 10x budget
+  for (int trial = 0; trial < trials; ++trial) {
     Bytes bad = payload;
     const int edits = 1 + static_cast<int>(rng.next_below(8));
     for (int e = 0; e < edits; ++e) {

@@ -10,6 +10,7 @@
 #include "core/tans_codec.hpp"
 #include "datagen/datasets.hpp"
 #include "lz77/parser.hpp"
+#include "tests/fuzz_budget.hpp"
 #include "lz77/ref_decoder.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -360,7 +361,8 @@ TEST(TansCodecAdversarial, RandomMutationFuzzNeverCrashes) {
   const lz77::TokenBlock tokens = parse_for_tans(input);
   const Bytes payload = encode_block_tans(tokens, cfg);
   Rng rng(0xC0FFEE);
-  for (int trial = 0; trial < 300; ++trial) {
+  const int trials = gompresso::testing::fuzz_trials(300);  // nightly: 10x
+  for (int trial = 0; trial < trials; ++trial) {
     Bytes bad = payload;
     const int edits = 1 + static_cast<int>(rng.next_below(8));
     for (int e = 0; e < edits; ++e) {
