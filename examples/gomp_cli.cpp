@@ -7,6 +7,7 @@
 //   gomp cat [options] <input> [out]     stream-decode via a DecodeSession
 //   gomp range <input> <off> <len> [out] random-access read via a session
 //   gomp index <input> [sidecar]         write the seek-index sidecar
+//   gomp verify [options] <input>        scrub every block, report health
 //
 // Compression options:
 //   --byte            use Gompresso/Byte (default: Gompresso/Bit)
@@ -18,11 +19,18 @@
 //   --effort <N>      match-finder chain depth (default 16)
 // Decompression options:
 //   --strategy <s>    sc | mrr | de | multipass (default: auto)
-// Session options (cat/range):
+// Session options (cat/range/verify):
 //   --threads <N>     prefetch pipeline threads (0 = shared pool)
 //   --inflight <N>    prefetch window in blocks (default 4)
 //   --cache <N>       decoded-block LRU capacity (default 8)
 //   --index <path>    load the seek index from a sidecar (see gomp index)
+//   --inject-faults <spec>
+//                     wrap the source in the deterministic fault harness;
+//                     spec grammar is FaultPlan::parse (fault_source.hpp),
+//                     e.g. "rate=0.01,burst=1,seed=7" or "flip@4096+64"
+// cat additionally accepts:
+//   --best-effort     zero-fill unrecoverable blocks instead of failing;
+//                     damaged extents go to stderr, exit code 1 if any
 // cat/range accept GMPZ containers and GMPS streams alike; with no
 // output path the bytes go to stdout and the stats to stderr.
 #include <cctype>
@@ -37,6 +45,7 @@
 #include <vector>
 
 #include "core/gompresso.hpp"
+#include "serve/fault_source.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -70,9 +79,11 @@ int usage() {
                "       gomp d [--strategy sc|mrr|de|multipass] <input> <output>\n"
                "       gomp info <input>\n"
                "       gomp cat [--threads N] [--inflight N] [--cache N]\n"
-               "                [--index SIDECAR] <input> [<output>]\n"
+               "                [--index SIDECAR] [--inject-faults SPEC]\n"
+               "                [--best-effort] <input> [<output>]\n"
                "       gomp range [session opts] <input> <offset> <len> [<output>]\n"
-               "       gomp index <input> [<sidecar>]\n");
+               "       gomp index <input> [<sidecar>]\n"
+               "       gomp verify [session opts] <input>\n");
   return 2;
 }
 
@@ -110,11 +121,13 @@ bool parse_count(const std::string& s, std::uint64_t max_value,
 constexpr std::uint64_t kMaxSessionThreads = 1024;
 constexpr std::uint64_t kMaxSessionBlocks = 1u << 20;  // window / cache caps
 
-/// Parses the session flags shared by cat/range; leaves positional
-/// arguments in `positional`. Returns false on a malformed flag.
+/// Parses the session flags shared by cat/range/verify; leaves positional
+/// arguments in `positional`. `best_effort` non-null accepts the
+/// cat-only --best-effort flag. Returns false on a malformed flag.
 bool parse_session_args(int argc, char** argv, serve::SessionOptions& opt,
-                        std::string& index_path,
-                        std::vector<std::string>& positional) {
+                        std::string& index_path, std::string& fault_spec,
+                        std::vector<std::string>& positional,
+                        bool* best_effort = nullptr) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -125,6 +138,10 @@ bool parse_session_args(int argc, char** argv, serve::SessionOptions& opt,
       if (!parse_count(argv[++i], kMaxSessionBlocks, opt.cache_blocks)) return false;
     } else if (arg == "--index" && i + 1 < argc) {
       index_path = argv[++i];
+    } else if (arg == "--inject-faults" && i + 1 < argc) {
+      fault_spec = argv[++i];
+    } else if (best_effort != nullptr && arg == "--best-effort") {
+      *best_effort = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else {
@@ -134,11 +151,19 @@ bool parse_session_args(int argc, char** argv, serve::SessionOptions& opt,
   return true;
 }
 
-/// Opens a session over `input_path`, via the sidecar when given.
+/// Opens a session over `input_path`, via the sidecar when given. A
+/// non-empty `fault_spec` interposes the fault-injection harness between
+/// the file and the session (the spec's faults hit the index scan too —
+/// arm offsets accordingly).
 std::unique_ptr<DecodeSession> open_session(const std::string& input_path,
                                             const std::string& index_path,
+                                            const std::string& fault_spec,
                                             const serve::SessionOptions& opt) {
-  auto source = serve::open_file_source(input_path);
+  std::unique_ptr<serve::ByteSource> source = serve::open_file_source(input_path);
+  if (!fault_spec.empty()) {
+    source = std::make_unique<serve::FaultInjectingByteSource>(
+        std::move(source), serve::FaultPlan::parse(fault_spec));
+  }
   if (!index_path.empty()) {
     return std::make_unique<DecodeSession>(std::move(source),
                                            serve::SeekIndex::load(index_path), opt);
@@ -160,16 +185,29 @@ void print_session_stats(const DecodeSession& session, std::uint64_t bytes,
                static_cast<unsigned long long>(st.cache_hits),
                static_cast<unsigned long long>(st.evictions),
                st.pool.peak_outstanding_bytes / 1048576.0);
+  if (st.transient_errors > 0 || st.permanent_errors > 0) {
+    std::fprintf(stderr,
+                 "faults: %llu transient (%llu retries), %llu permanent, "
+                 "%llu bytes zero-filled\n",
+                 static_cast<unsigned long long>(st.transient_errors),
+                 static_cast<unsigned long long>(st.retries),
+                 static_cast<unsigned long long>(st.permanent_errors),
+                 static_cast<unsigned long long>(st.bytes_zero_filled));
+  }
 }
 
 int cmd_cat(int argc, char** argv) {
   serve::SessionOptions opt;
-  std::string index_path;
+  std::string index_path, fault_spec;
   std::vector<std::string> positional;
-  if (!parse_session_args(argc, argv, opt, index_path, positional)) return usage();
+  bool best_effort = false;
+  if (!parse_session_args(argc, argv, opt, index_path, fault_spec, positional,
+                          &best_effort)) {
+    return usage();
+  }
   if (positional.empty() || positional.size() > 2) return usage();
 
-  const auto session = open_session(positional[0], index_path, opt);
+  const auto session = open_session(positional[0], index_path, fault_spec, opt);
   std::FILE* out = positional.size() == 2
                        ? std::fopen(positional[1].c_str(), "wb")
                        : stdout;
@@ -177,23 +215,67 @@ int cmd_cat(int argc, char** argv) {
 
   Stopwatch timer;
   Bytes chunk(kStreamCopyChunk);
+  serve::DamageReport damage;
   std::uint64_t total = 0;
   std::size_t n;
-  while ((n = session->read(MutableByteSpan(chunk.data(), chunk.size()))) > 0) {
+  while (true) {
+    const MutableByteSpan dst(chunk.data(), chunk.size());
+    n = best_effort ? session->read_at_damage_tolerant(total, dst, &damage)
+                    : session->read(dst);
+    if (n == 0) break;
     check(std::fwrite(chunk.data(), 1, n, out) == n, "write failed");
     total += n;
   }
   const double seconds = timer.seconds();
   if (out != stdout) std::fclose(out);
   print_session_stats(*session, total, seconds);
-  return 0;
+  for (const serve::DamagedExtent& e : damage.extents) {
+    std::fprintf(stderr,
+                 "damaged: block %zu, bytes %llu..%llu zero-filled (%s)\n",
+                 e.block, static_cast<unsigned long long>(e.offset),
+                 static_cast<unsigned long long>(e.offset + e.length),
+                 e.message.c_str());
+  }
+  return damage.clean() ? 0 : 1;
+}
+
+int cmd_verify(int argc, char** argv) {
+  serve::SessionOptions opt;
+  std::string index_path, fault_spec;
+  std::vector<std::string> positional;
+  if (!parse_session_args(argc, argv, opt, index_path, fault_spec, positional)) {
+    return usage();
+  }
+  if (positional.size() != 1) return usage();
+
+  const auto session = open_session(positional[0], index_path, fault_spec, opt);
+  Stopwatch timer;
+  const serve::DamageReport damage = session->verify_archive();
+  const double seconds = timer.seconds();
+
+  const std::size_t blocks = session->index().num_blocks();
+  std::size_t damaged_blocks = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (session->block_health(b) == serve::BlockHealth::kDamaged) ++damaged_blocks;
+  }
+  std::printf("%s: %zu blocks scanned in %.3fs, %zu damaged\n",
+              positional[0].c_str(), blocks, seconds, damaged_blocks);
+  for (const serve::DamagedExtent& e : damage.extents) {
+    std::printf("  block %zu: bytes %llu..%llu unrecoverable (%s)\n", e.block,
+                static_cast<unsigned long long>(e.offset),
+                static_cast<unsigned long long>(e.offset + e.length),
+                e.message.c_str());
+  }
+  return damage.clean() ? 0 : 1;
 }
 
 int cmd_range(int argc, char** argv) {
   serve::SessionOptions opt;
-  std::string index_path;
+  std::string index_path, fault_spec;
   std::vector<std::string> positional;
-  if (!parse_session_args(argc, argv, opt, index_path, positional)) return usage();
+  if (!parse_session_args(argc, argv, opt, index_path, fault_spec, positional)) {
+    return usage();
+  }
   if (positional.size() < 3 || positional.size() > 4) return usage();
   // Strict parsing for the positional numbers too: stoull wraps "-1"
   // into 2^64-1, which read_bytes_at clamps to an empty read — the typo
@@ -206,7 +288,7 @@ int cmd_range(int argc, char** argv) {
     return usage();
   }
 
-  const auto session = open_session(positional[0], index_path, opt);
+  const auto session = open_session(positional[0], index_path, fault_spec, opt);
   Stopwatch timer;
   const Bytes data = session->read_bytes_at(offset, length);
   const double seconds = timer.seconds();
@@ -359,6 +441,7 @@ int main(int argc, char** argv) {
     if (cmd == "cat") return cmd_cat(argc - 2, argv + 2);
     if (cmd == "range") return cmd_range(argc - 2, argv + 2);
     if (cmd == "index") return cmd_index(argc - 2, argv + 2);
+    if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);
   } catch (const gompresso::Error& e) {
     std::fprintf(stderr, "gomp: %s\n", e.what());
     return 1;

@@ -25,18 +25,19 @@ Strategy resolve_strategy(const DecompressOptions& options,
 
 void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc,
                      MutableByteSpan out, Strategy strategy, bool verify_checksum,
-                     BlockDecodeContext& ctx, ThreadPool* lane_pool) {
+                     BlockDecodeContext& ctx, ThreadPool* lane_pool) try {
   std::size_t p = 0;
   const std::uint32_t stored_crc = get_u32le(payload_with_crc, p);
-  check(p < payload_with_crc.size(), "decompress: truncated block payload");
+  check_corrupt(p < payload_with_crc.size(), "decompress: truncated block payload");
   const std::uint8_t mode = payload_with_crc[p++];
   const ByteSpan payload = payload_with_crc.subspan(p);
 
   if (mode == kBlockModeStored) {
-    check(payload.size() == out.size(), "decompress: stored block size mismatch");
+    check_corrupt(payload.size() == out.size(),
+                  "decompress: stored block size mismatch");
     std::copy(payload.begin(), payload.end(), out.begin());
   } else {
-    check(mode == kBlockModeCoded, "decompress: unknown block mode");
+    check_corrupt(mode == kBlockModeCoded, "decompress: unknown block mode");
     // Phase 1: token decode. Every codec decodes into the context's
     // scratch arena — zero allocations once its buffers are warm — and
     // optionally fans its independent sub-block lanes (record-array
@@ -49,7 +50,7 @@ void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc
                           header.codec == Codec::kTans);
       ctx.scratch_reserved = true;
     }
-    const lz77::TokenBlock* tokens;
+    const lz77::TokenBlock* tokens = nullptr;
     if (header.codec == Codec::kBit) {
       BitCodecConfig bit_config;
       bit_config.tokens_per_subblock = header.tokens_per_subblock;
@@ -63,7 +64,8 @@ void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc
       tokens = &decode_block_tans(payload, tans_config, ctx.scratch, lane_pool,
                                   out.size());
     }
-    check(tokens->uncompressed_size == out.size(), "decompress: block size mismatch");
+    check_corrupt(tokens->uncompressed_size == out.size(),
+                  "decompress: block size mismatch");
 
     // Phase 2: LZ77 resolution, accumulating straight into the context's
     // metrics (all WarpMetrics updates are additive). With a lane pool
@@ -90,9 +92,18 @@ void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc
   }
 
   if (verify_checksum) {
-    check(crc32(ByteSpan(out.data(), out.size())) == stored_crc,
-          "decompress: block checksum mismatch (corrupt data)");
+    check_corrupt(crc32(ByteSpan(out.data(), out.size())) == stored_crc,
+                  "decompress: block checksum mismatch (corrupt data)");
   }
+} catch (const Error& e) {
+  // This is the typed-error boundary for block data: the codec and
+  // resolver internals (bit/tans/byte decode, LZ77 resolution) raise
+  // plain Error on malformed payloads. Anything untyped that escapes a
+  // block decode is data-level damage confined to this block; already-
+  // typed failures (an IoError from a faulting mmap-backed span, say)
+  // keep their class.
+  if (e.kind() != ErrorKind::kConfig) throw;
+  throw CorruptionError(e.what());
 }
 
 }  // namespace gompresso::core

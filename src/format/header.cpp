@@ -32,19 +32,19 @@ FileHeader FileHeader::deserialize(ByteSpan data, std::size_t& pos) {
 }
 
 FileHeader FileHeader::deserialize(util::ByteReader& reader) {
-  check(reader.read_u32le() == kMagic, "format: bad magic");
+  check_format(reader.read_u32le() == kMagic, "format: bad magic");
   return deserialize_body(reader);
 }
 
 FileHeader FileHeader::deserialize_body(util::ByteReader& reader) {
   FileHeader h;
-  check(reader.read_u8() == kVersion, "format: unsupported version");
+  check_format(reader.read_u8() == kVersion, "format: unsupported version");
   const std::uint8_t codec_byte = reader.read_u8();
-  check(codec_byte <= 2, "format: unknown codec");
+  check_format(codec_byte <= 2, "format: unknown codec");
   h.codec = static_cast<Codec>(codec_byte);
   h.dependency_elimination = reader.read_u8() != 0;
   h.codeword_limit = reader.read_u8();
-  check(h.codeword_limit >= 1 && h.codeword_limit <= 15, "format: bad CWL");
+  check_format(h.codeword_limit >= 1 && h.codeword_limit <= 15, "format: bad CWL");
   h.window_size = static_cast<std::uint32_t>(reader.read_varint());
   h.min_match = static_cast<std::uint32_t>(reader.read_varint());
   h.max_match = static_cast<std::uint32_t>(reader.read_varint());
@@ -52,9 +52,9 @@ FileHeader FileHeader::deserialize_body(util::ByteReader& reader) {
   h.tokens_per_subblock = static_cast<std::uint32_t>(reader.read_varint());
   h.uncompressed_size = reader.read_varint();
   const std::uint64_t num_blocks = reader.read_varint();
-  check(num_blocks <= (1ull << 32), "format: implausible block count");
-  check(h.block_size > 0, "format: zero block size");
-  check(h.tokens_per_subblock > 0, "format: zero tokens per sub-block");
+  check_format(num_blocks <= (1ull << 32), "format: implausible block count");
+  check_format(h.block_size > 0, "format: zero block size");
+  check_format(h.tokens_per_subblock > 0, "format: zero tokens per sub-block");
   // The reserve is only a hint — bound it so a crafted num_blocks just
   // under the plausibility cap cannot attempt a 32 GiB allocation from a
   // ~15-byte input before the per-entry reads fail on truncation.
@@ -67,7 +67,7 @@ FileHeader FileHeader::deserialize_body(util::ByteReader& reader) {
 }
 
 void FileHeader::check_block_count() const {
-  check(num_blocks() == div_ceil<std::uint64_t>(uncompressed_size, block_size),
+  check_format(num_blocks() == div_ceil<std::uint64_t>(uncompressed_size, block_size),
         "format: block count inconsistent with uncompressed size");
 }
 
@@ -77,12 +77,12 @@ void FileHeader::check_payload(std::uint64_t payload_bytes) const {
   for (const std::uint64_t s : block_compressed_sizes) {
     // Incremental bound so an adversarial size list cannot overflow the
     // accumulator before the comparison.
-    check(s <= payload_bytes - total,
+    check_format(s <= payload_bytes - total,
           "format: compressed payload shorter than the block size list "
           "(truncated file?)");
     total += s;
   }
-  check(total == payload_bytes,
+  check_format(total == payload_bytes,
         "format: compressed payload does not match the block size list");
 }
 

@@ -16,12 +16,12 @@ class FileSource final : public ByteSource {
  public:
   explicit FileSource(const std::string& path) {
     fd_ = ::open(path.c_str(), O_RDONLY);
-    check(fd_ >= 0, "serve: cannot open input file");
+    check_io(fd_ >= 0, "serve: cannot open input file");
     struct stat st{};
     if (::fstat(fd_, &st) != 0) {
       ::close(fd_);
       fd_ = -1;
-      throw Error("serve: cannot stat input file");
+      throw IoError("serve: cannot stat input file");
     }
     size_ = static_cast<std::uint64_t>(st.st_size);
   }
@@ -33,15 +33,19 @@ class FileSource final : public ByteSource {
   std::uint64_t size() const override { return size_; }
 
   void read_at(std::uint64_t offset, MutableByteSpan dst) override {
-    check(offset <= size_ && dst.size() <= size_ - offset,
-          "serve: read past end of file");
+    check_format(offset <= size_ && dst.size() <= size_ - offset,
+                 "serve: read past end of file");
     std::size_t got = 0;
     while (got < dst.size()) {
       const ::ssize_t n =
           ::pread(fd_, dst.data() + got, dst.size() - got,
                   static_cast<::off_t>(offset + got));
       if (n < 0 && errno == EINTR) continue;
-      check(n > 0, "serve: file read failed");
+      check_io(n >= 0, "serve: file read failed");
+      // pread returning 0 inside the sized extent means the file shrank
+      // under us (truncated or replaced after open) — an I/O-class
+      // failure of the storage contract, not of the data format.
+      check_io(n > 0, "serve: file truncated after open (unexpected EOF)");
       got += static_cast<std::size_t>(n);
     }
   }
@@ -58,8 +62,8 @@ class MemorySource final : public ByteSource {
   std::uint64_t size() const override { return data_.size(); }
 
   void read_at(std::uint64_t offset, MutableByteSpan dst) override {
-    check(offset <= data_.size() && dst.size() <= data_.size() - offset,
-          "serve: read past end of input");
+    check_format(offset <= data_.size() && dst.size() <= data_.size() - offset,
+                 "serve: read past end of input");
     std::memcpy(dst.data(), data_.data() + static_cast<std::size_t>(offset),
                 dst.size());
   }
@@ -77,7 +81,7 @@ class IstreamSource final : public ByteSource {
     base_ = begin;
     in_.seekg(0, std::ios::end);
     const std::istream::pos_type end = in_.tellg();
-    check(in_.good(), "serve: stream seek failed");
+    check_io(in_.good(), "serve: stream seek failed");
     size_ = static_cast<std::uint64_t>(end - begin);
     in_.seekg(begin);
   }
@@ -85,16 +89,16 @@ class IstreamSource final : public ByteSource {
   std::uint64_t size() const override { return size_; }
 
   void read_at(std::uint64_t offset, MutableByteSpan dst) override {
-    check(offset <= size_ && dst.size() <= size_ - offset,
-          "serve: read past end of input");
+    check_format(offset <= size_ && dst.size() <= size_ - offset,
+                 "serve: read past end of input");
     // One shared cursor: positional reads must serialize.
     std::lock_guard<std::mutex> lock(mutex_);
     in_.clear();
     in_.seekg(base_ + static_cast<std::streamoff>(offset));
     in_.read(reinterpret_cast<char*>(dst.data()),
              static_cast<std::streamsize>(dst.size()));
-    check(static_cast<std::size_t>(in_.gcount()) == dst.size(),
-          "serve: stream read failed");
+    check_io(static_cast<std::size_t>(in_.gcount()) == dst.size(),
+             "serve: stream read failed");
   }
 
  private:

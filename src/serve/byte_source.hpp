@@ -55,8 +55,12 @@ class SourceReader : public util::ByteReader {
       : source_(source), buf_(std::max<std::size_t>(buffer_size, 64)) {}
 
   /// Repositions the cursor to absolute offset `abs` (cheap — the
-  /// backing store is random access).
-  void seek_to(std::uint64_t abs) { check(try_seek(abs), "read: seek failed"); }
+  /// backing store is random access). A target past the end of the
+  /// source is structural truncation: the container told us to seek
+  /// somewhere the source does not reach.
+  void seek_to(std::uint64_t abs) {
+    check_format(try_seek(abs), "read: seek past end of input");
+  }
 
  protected:
   ByteSpan next_window() override {
@@ -69,7 +73,11 @@ class SourceReader : public util::ByteReader {
   }
 
   bool try_seek(std::uint64_t abs) override {
-    check(abs <= source_.size(), "read: seek past end of input");
+    // Contract: report an unreachable target by returning false (the
+    // base class falls back to window draining and raises "truncated
+    // input" at the true end); seek_to turns false into a typed error.
+    // Throwing here instead would bypass both callers' own handling.
+    if (abs > source_.size()) return false;
     reset_cursor(abs);
     return true;
   }

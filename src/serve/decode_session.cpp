@@ -1,6 +1,8 @@
 #include "serve/decode_session.hpp"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace gompresso::serve {
 
@@ -15,8 +17,8 @@ DecodeSession::DecodeSession(std::unique_ptr<ByteSource> source,
 DecodeSession::DecodeSession(std::unique_ptr<ByteSource> source, SeekIndex index,
                              SessionOptions options)
     : source_(std::move(source)), index_(std::move(index)), options_(options) {
-  check(index_.source_size() == source_->size(),
-        "serve: seek index does not match the source (rebuild it)");
+  check_format(index_.source_size() == source_->size(),
+               "serve: seek index does not match the source (rebuild it)");
   init();
 }
 
@@ -46,6 +48,7 @@ void DecodeSession::init() {
   // The cache must hold at least the prefetch window, or the pipeline
   // would evict blocks it just decoded before the reader reaches them.
   cache_capacity_ = std::max(options_.cache_blocks, window_);
+  health_.assign(index_.num_blocks(), BlockHealth::kUnknown);
 }
 
 DecodeSession::~DecodeSession() {
@@ -108,6 +111,86 @@ std::size_t DecodeSession::read_impl(std::uint64_t offset, MutableByteSpan dst) 
     done += take;
   }
   return n;
+}
+
+std::size_t DecodeSession::read_at_damage_tolerant(std::uint64_t offset,
+                                                   MutableByteSpan dst,
+                                                   DamageReport* report) {
+  const std::uint64_t total = size();
+  if (offset >= total || dst.empty()) return 0;
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(dst.size(), total - offset));
+  std::size_t done = 0;
+  while (done < n) {
+    const std::uint64_t off = offset + done;
+    const std::size_t b = index_.block_containing(off);
+    const BlockEntry& e = index_.block(b);
+    const std::size_t in_block = static_cast<std::size_t>(off - e.uncomp_offset);
+    const std::size_t take =
+        std::min<std::size_t>(n - done, e.uncomp_size - in_block);
+
+    // Known-damaged fast path: a block that already failed permanently
+    // is zero-filled without re-decoding it on every read.
+    bool damaged = false;
+    ErrorKind kind = ErrorKind::kCorruption;
+    std::string message;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (health_[b] == BlockHealth::kDamaged) {
+        damaged = true;
+        const auto it = damage_.find(b);
+        if (it != damage_.end()) {
+          kind = it->second.kind;
+          message = it->second.message;
+        }
+      }
+    }
+    if (!damaged) {
+      try {
+        fetch_into(b, in_block, take, dst.data() + done);
+        done += take;
+        continue;
+      } catch (const Error& err) {
+        // Config-class errors are API misuse, not data damage — degrade
+        // only on typed failures (permanent damage, or an IoError that
+        // already survived the whole RetryPolicy inside decode_task).
+        if (err.kind() == ErrorKind::kConfig) throw;
+        kind = err.kind();
+        message = err.what();
+      }
+    }
+    std::memset(dst.data() + done, 0, take);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.degraded_reads;
+      stats_.bytes_zero_filled += take;
+    }
+    if (report != nullptr) {
+      report->extents.push_back(
+          DamagedExtent{off, take, b, kind, std::move(message)});
+    }
+    done += take;
+  }
+  return n;
+}
+
+DamageReport DecodeSession::verify_archive() {
+  DamageReport report;
+  Bytes scratch;
+  for (std::size_t b = 0; b < index_.num_blocks(); ++b) {
+    const BlockEntry& e = index_.block(b);
+    scratch.resize(e.uncomp_size);
+    read_at_damage_tolerant(e.uncomp_offset,
+                            MutableByteSpan(scratch.data(), scratch.size()),
+                            &report);
+  }
+  return report;
+}
+
+BlockHealth DecodeSession::block_health(std::size_t b) const {
+  check(b < health_.size(), "serve: block index out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return health_[b];
 }
 
 void DecodeSession::schedule_locked(std::uint64_t first,
@@ -217,12 +300,19 @@ void DecodeSession::fetch_into(std::uint64_t block, std::size_t begin,
         first_look = false;
         continue;
       }
+      // Copy the failure record out of the slot before dropping it, then
+      // raise a FRESH exception: delivering one shared exception object
+      // to concurrent readers races its destruction (see Slot).
+      const bool typed = slot->error_typed;
+      const ErrorKind kind = slot->error_kind;
+      const std::string what = slot->error_what;
       const std::exception_ptr error = slot->error;
       if (slot->waiters == 0) {
         slots_.erase(block);
         // A deferred-retry reader may be waiting for this drain.
         ready_cv_.notify_all();
       }
+      if (typed) throw_error(kind, what);
       std::rethrow_exception(error);
     }
     ++slot->waiters;
@@ -233,43 +323,108 @@ void DecodeSession::fetch_into(std::uint64_t block, std::size_t begin,
   }
 }
 
+void DecodeSession::backoff_sleep(std::uint64_t us) {
+  if (options_.sleep_hook) {
+    options_.sleep_hook(us);
+  } else if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
 void DecodeSession::decode_task(std::uint64_t block) {
-  std::unique_ptr<core::BlockDecodeContext> ctx;
-  try {
-    const BlockEntry& e = index_.block(static_cast<std::size_t>(block));
-    util::PooledBuffer comp = buffers_.acquire(static_cast<std::size_t>(e.comp_size));
-    source_->read_at(e.comp_offset, comp.span());
-    util::PooledBuffer out = buffers_.acquire(e.uncomp_size);
-    ctx = pop_context();
-    core::decode_block_at(index_.segment_header(e.segment), comp.cspan(), out.span(),
-                          segment_strategy_[e.segment], options_.verify_checksums,
-                          *ctx, /*lane_pool=*/nullptr);
-    push_context(std::move(ctx));
-    comp.reset();  // return the staging buffer before publishing
+  // Transient (IoError) failures from the source read or the decode are
+  // retried here with capped exponential backoff, so a fault that clears
+  // is invisible to every reader; permanent errors (corruption, format)
+  // publish immediately — retrying would reproduce them byte-for-byte.
+  const RetryPolicy& policy = options_.retry;
+  std::uint64_t slept_us = 0;
+  for (std::size_t attempt = 1;; ++attempt) {
+    std::unique_ptr<core::BlockDecodeContext> ctx;
+    // Failure record for this attempt; typed failures never keep the
+    // exception object itself (see Slot::error_typed).
+    bool typed = false;
+    ErrorKind kind = ErrorKind::kConfig;
+    std::string what;
+    std::exception_ptr untyped;
+    try {
+      const BlockEntry& e = index_.block(static_cast<std::size_t>(block));
+      util::PooledBuffer comp = buffers_.acquire(static_cast<std::size_t>(e.comp_size));
+      source_->read_at(e.comp_offset, comp.span());
+      util::PooledBuffer out = buffers_.acquire(e.uncomp_size);
+      ctx = pop_context();
+      core::decode_block_at(index_.segment_header(e.segment), comp.cspan(), out.span(),
+                            segment_strategy_[e.segment], options_.verify_checksums,
+                            *ctx, /*lane_pool=*/nullptr);
+      push_context(std::move(ctx));
+      comp.reset();  // return the staging buffer before publishing
+
+      std::lock_guard<std::mutex> lock(mutex_);
+      health_[static_cast<std::size_t>(block)] = BlockHealth::kGood;
+      damage_.erase(block);
+      Slot& slot = *slots_.at(block);
+      slot.data = std::move(out);
+      slot.state = Slot::State::kReady;
+      --inflight_;
+      ++ready_count_;
+      ++stats_.blocks_decoded;
+      lru_.push_front(block);
+      slot.lru_it = lru_.begin();
+      evict_excess_locked();
+      // Notify while holding the lock: the destructor tears the session
+      // down as soon as inflight_ hits zero, so the cv must not be touched
+      // from the unlocked tail of a task.
+      ready_cv_.notify_all();
+      return;
+    } catch (const Error& e) {
+      // Classify by type, never by message: only the Error hierarchy
+      // carries a kind; anything else (bad_alloc, logic_error) is
+      // unclassified and published as-is, unretried.
+      typed = true;
+      kind = e.kind();
+      what = e.what();
+    } catch (const std::exception& e) {
+      untyped = std::current_exception();
+      what = e.what();
+    } catch (...) {
+      untyped = std::current_exception();
+      what = "unknown decode failure";
+    }
+
+    if (ctx != nullptr) push_context(std::move(ctx));
+
+    if (kind == ErrorKind::kIo) {
+      const std::uint64_t backoff = policy.backoff_us(attempt + 1);
+      const bool within_deadline =
+          policy.deadline_us == 0 || slept_us + backoff <= policy.deadline_us;
+      const bool retry = attempt < policy.max_attempts && within_deadline;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.transient_errors;
+        if (retry) ++stats_.retries;
+      }
+      if (retry) {
+        backoff_sleep(backoff);
+        slept_us += backoff;
+        continue;
+      }
+    }
 
     std::lock_guard<std::mutex> lock(mutex_);
-    Slot& slot = *slots_.at(block);
-    slot.data = std::move(out);
-    slot.state = Slot::State::kReady;
-    --inflight_;
-    ++ready_count_;
-    ++stats_.blocks_decoded;
-    lru_.push_front(block);
-    slot.lru_it = lru_.begin();
-    evict_excess_locked();
-    // Notify while holding the lock: the destructor tears the session
-    // down as soon as inflight_ hits zero, so the cv must not be touched
-    // from the unlocked tail of a task.
-    ready_cv_.notify_all();
-  } catch (...) {
-    if (ctx != nullptr) push_context(std::move(ctx));
-    std::lock_guard<std::mutex> lock(mutex_);
+    if (kind == ErrorKind::kCorruption || kind == ErrorKind::kFormat) {
+      ++stats_.permanent_errors;
+      health_[static_cast<std::size_t>(block)] = BlockHealth::kDamaged;
+      damage_[block] = BlockDamage{kind, what};
+    }
     Slot& slot = *slots_.at(block);
     slot.state = Slot::State::kFailed;
-    slot.error = std::current_exception();
+    slot.error_typed = typed;
+    slot.error_kind = kind;
+    slot.error_what = std::move(what);
+    slot.error = untyped;
     --inflight_;
     ++stats_.decode_failures;
     ready_cv_.notify_all();
+    return;
   }
 }
 

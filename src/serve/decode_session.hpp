@@ -27,9 +27,11 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +42,31 @@
 #include "util/thread_pool.hpp"
 
 namespace gompresso::serve {
+
+/// Retry discipline for transient (IoError) failures inside a decode
+/// task: capped exponential backoff, deterministic — attempt k sleeps
+/// min(base_backoff_us << (k-1), max_backoff_us), no jitter, so fault
+/// plans replay identically. Permanent errors (CorruptionError,
+/// FormatError) are never retried; classification is by type, never by
+/// message string.
+struct RetryPolicy {
+  /// Total attempts per block (1 = no retry).
+  std::size_t max_attempts = 3;
+  std::uint64_t base_backoff_us = 500;
+  std::uint64_t max_backoff_us = 50 * 1000;
+  /// Cumulative backoff budget per block; once sleeping would exceed it
+  /// the transient error surfaces even with attempts left. 0 = no cap.
+  std::uint64_t deadline_us = 0;
+
+  /// Backoff before retry attempt `attempt` (2-based: the sleep between
+  /// attempt-1 and attempt).
+  std::uint64_t backoff_us(std::size_t attempt) const {
+    const unsigned shift = attempt >= 2 ? static_cast<unsigned>(attempt - 2) : 0;
+    const std::uint64_t uncapped =
+        shift >= 63 ? max_backoff_us : base_backoff_us << shift;
+    return std::min(uncapped, max_backoff_us);
+  }
+};
 
 struct SessionOptions {
   /// Sliding window of blocks decoded ahead of the reader (including the
@@ -58,6 +85,40 @@ struct SessionOptions {
   /// DE-compressed segments).
   bool auto_strategy = true;
   Strategy strategy = Strategy::kMultiRound;
+  /// Transient-failure retry discipline for source reads + block decode.
+  RetryPolicy retry;
+  /// Test seam: replaces the real backoff sleep. Called with the backoff
+  /// in microseconds; null = std::this_thread::sleep_for. Must be
+  /// callable from pool workers concurrently.
+  std::function<void(std::uint64_t)> sleep_hook;
+};
+
+/// One uncompressed range a damage-tolerant read could not reproduce
+/// (zero-filled in the output instead).
+struct DamagedExtent {
+  std::uint64_t offset = 0;  // uncompressed
+  std::uint64_t length = 0;
+  std::size_t block = 0;     // seek-index block the damage lives in
+  ErrorKind kind = ErrorKind::kCorruption;
+  std::string message;
+};
+
+/// What a best-effort read or an archive scan could not recover.
+struct DamageReport {
+  std::vector<DamagedExtent> extents;
+  bool clean() const { return extents.empty(); }
+  std::uint64_t damaged_bytes() const {
+    std::uint64_t total = 0;
+    for (const DamagedExtent& e : extents) total += e.length;
+    return total;
+  }
+};
+
+/// Decode health of one block, tracked across the session's lifetime.
+enum class BlockHealth : std::uint8_t {
+  kUnknown = 0,  // never decoded
+  kGood,         // decoded (and CRC-verified, if enabled) at least once
+  kDamaged,      // failed with a permanent error — will not be retried
 };
 
 struct SessionStats {
@@ -69,6 +130,11 @@ struct SessionStats {
   std::uint64_t decode_failures = 0;  // decode tasks that ended in an error
   std::uint64_t evictions = 0;        // decoded blocks dropped by the LRU
   std::uint64_t bytes_delivered = 0;
+  std::uint64_t retries = 0;           // backoff retries after transient errors
+  std::uint64_t transient_errors = 0;  // IoError observations (incl. retried-away)
+  std::uint64_t permanent_errors = 0;  // corruption/format decode failures
+  std::uint64_t degraded_reads = 0;    // damage-tolerant reads that zero-filled
+  std::uint64_t bytes_zero_filled = 0; // bytes substituted for damaged data
   util::BufferPool::Stats pool;       // the memory-bound witness (bench_serve)
 };
 
@@ -105,6 +171,24 @@ class DecodeSession {
   /// `length` only at end of data).
   Bytes read_bytes_at(std::uint64_t offset, std::size_t length);
 
+  /// Best-effort positional read: like read_at(), but a block whose
+  /// decode fails permanently (CorruptionError/FormatError — or an
+  /// IoError that survived the whole RetryPolicy) is zero-filled
+  /// instead of thrown, and the unrecoverable ranges are appended to
+  /// `report` (when given). Every byte outside a damaged block is
+  /// exact. Returns the same short-only-at-EOF count as read_at().
+  std::size_t read_at_damage_tolerant(std::uint64_t offset, MutableByteSpan dst,
+                                      DamageReport* report = nullptr);
+
+  /// Scrubs the whole archive: decodes every block (damage-tolerantly,
+  /// through the cache) and returns the ranges that cannot be served.
+  /// This is `gomp verify`.
+  DamageReport verify_archive();
+
+  /// Decode health of block `b`, as observed so far (kUnknown until a
+  /// read or scan touches the block).
+  BlockHealth block_health(std::size_t b) const;
+
   /// Moves the sequential cursor. Offsets past the end are allowed;
   /// subsequent read() calls return 0 there.
   void seek(std::uint64_t offset);
@@ -118,15 +202,30 @@ class DecodeSession {
     enum class State { kScheduled, kReady, kFailed };
     State state = State::kScheduled;
     util::PooledBuffer data;            // valid when kReady
-    std::exception_ptr error;           // valid when kFailed (delivered to
-                                        // current waiters, then dropped so
-                                        // a later read retries the block)
+    // Failure record, valid when kFailed (delivered to current waiters,
+    // then dropped so a later read retries the block). A classified
+    // failure is stored as (kind, message) and re-raised as a FRESH
+    // exception per delivery — publishing one exception_ptr to many
+    // readers makes concurrent rethrows share the object (libstdc++),
+    // racing its destruction against virtual kind() calls. Only
+    // unclassified exceptions (bad_alloc, logic_error) keep the
+    // exception_ptr, at single-delivery fidelity.
+    bool error_typed = false;
+    ErrorKind error_kind = ErrorKind::kConfig;
+    std::string error_what;
+    std::exception_ptr error;           // unclassified failures only
     int waiters = 0;                    // readers blocked on or pinning this
                                         // block (eviction skips pinned slots)
     std::list<std::uint64_t>::iterator lru_it{};  // valid when kReady
   };
 
+  struct BlockDamage {
+    ErrorKind kind = ErrorKind::kCorruption;
+    std::string message;
+  };
+
   void init();
+  void backoff_sleep(std::uint64_t us);
   std::size_t read_impl(std::uint64_t offset, MutableByteSpan dst);
   void fetch_into(std::uint64_t block, std::size_t begin, std::size_t len,
                   std::uint8_t* out);
@@ -164,6 +263,8 @@ class DecodeSession {
   std::size_t ready_count_ = 0;   // slots in kReady state
   std::uint64_t cursor_ = 0;
   SessionStats stats_;
+  std::vector<BlockHealth> health_;  // per block, guarded by mutex_
+  std::unordered_map<std::uint64_t, BlockDamage> damage_;  // kDamaged blocks
   std::vector<std::unique_ptr<core::BlockDecodeContext>> free_contexts_;
 };
 

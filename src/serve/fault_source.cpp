@@ -1,0 +1,268 @@
+#include "serve/fault_source.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace gompresso::serve {
+namespace {
+
+/// True when a read of [offset, offset + len) is selected by `f`.
+bool fault_matches(const FaultSpec& f, std::uint64_t offset, std::size_t len) {
+  if (f.offset == FaultSpec::kAnyOffset) return true;
+  if (f.length == 0) return offset == f.offset;
+  return offset < f.offset + f.length && f.offset < offset + len;
+}
+
+/// One corruption to apply to the delivered bytes, in dst coordinates.
+struct CorruptionOp {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::uint8_t mask = 0;  // 0 = zero-fill
+};
+
+std::uint64_t parse_num(const std::string& s) {
+  check(!s.empty() && s.find_first_not_of("0123456789xabcdefABCDEF") ==
+                          std::string::npos,
+        "fault plan: malformed number");
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(s, &pos, 0);  // base 0: decimal or 0x-hex
+  } catch (const std::exception&) {
+    throw Error("fault plan: malformed number");
+  }
+  check(pos == s.size(), "fault plan: malformed number");
+  return v;
+}
+
+double parse_rate(const std::string& s) {
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    throw Error("fault plan: malformed rate");
+  }
+  check(pos == s.size() && v >= 0.0 && v <= 1.0,
+        "fault plan: rate must be in [0, 1]");
+  return v;
+}
+
+/// "OFF" or "*" before the optional ":SUFFIX"; returns kAnyOffset for *.
+std::uint64_t parse_offset(const std::string& s) {
+  return s == "*" ? FaultSpec::kAnyOffset : parse_num(s);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', begin), spec.size());
+    const std::string item = spec.substr(begin, comma - begin);
+    begin = comma + 1;
+    if (item.empty()) continue;
+
+    const std::size_t eq = item.find('=');
+    const std::size_t at = item.find('@');
+    if (eq != std::string::npos && (at == std::string::npos || eq < at)) {
+      const std::string key = item.substr(0, eq);
+      const std::string val = item.substr(eq + 1);
+      if (key == "rate") {
+        plan.transient_rate = parse_rate(val);
+      } else if (key == "burst") {
+        plan.transient_burst = parse_num(val);
+        check(plan.transient_burst > 0, "fault plan: burst must be positive");
+      } else if (key == "seed") {
+        plan.seed = parse_num(val);
+      } else if (key == "latency") {
+        plan.latency_us = parse_num(val);
+      } else {
+        throw Error("fault plan: unknown key (want rate/burst/seed/latency)");
+      }
+      continue;
+    }
+
+    check(at != std::string::npos, "fault plan: item needs KIND@OFFSET");
+    const std::string kind = item.substr(0, at);
+    std::string rest = item.substr(at + 1);
+    // Optional ":SUFFIX" (count for transient/short, mask for flip).
+    std::uint64_t suffix = 0;
+    bool has_suffix = false;
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      suffix = parse_num(rest.substr(colon + 1));
+      rest = rest.substr(0, colon);
+      has_suffix = true;
+    }
+    if (kind == "transient" || kind == "short") {
+      const std::uint64_t off = parse_offset(rest);
+      const std::uint64_t count = has_suffix ? suffix : 1;
+      check(count > 0, "fault plan: count must be positive");
+      plan.faults.push_back(kind == "transient"
+                                ? FaultSpec::transient_at(off, count)
+                                : FaultSpec::short_read_at(off, count));
+    } else if (kind == "flip" || kind == "zero") {
+      const std::size_t plus = rest.find('+');
+      check(plus != std::string::npos, "fault plan: extent needs OFF+LEN");
+      const std::uint64_t off = parse_num(rest.substr(0, plus));
+      const std::uint64_t len = parse_num(rest.substr(plus + 1));
+      check(len > 0, "fault plan: extent length must be positive");
+      if (kind == "flip") {
+        const std::uint8_t mask =
+            has_suffix ? static_cast<std::uint8_t>(suffix) : std::uint8_t{0x40};
+        check(mask != 0, "fault plan: flip mask must be nonzero");
+        plan.faults.push_back(FaultSpec::flip(off, len, mask));
+      } else {
+        check(!has_suffix, "fault plan: zero takes no suffix");
+        plan.faults.push_back(FaultSpec::zero_fill(off, len));
+      }
+    } else {
+      throw Error("fault plan: unknown fault kind");
+    }
+  }
+  return plan;
+}
+
+FaultInjectingByteSource::FaultInjectingByteSource(
+    std::unique_ptr<ByteSource> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)), rng_(plan_.seed) {
+  check(inner_ != nullptr, "fault source: null inner source");
+  check(plan_.transient_burst > 0, "fault source: burst must be positive");
+}
+
+void FaultInjectingByteSource::inject(FaultSpec fault) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_.faults.push_back(fault);
+}
+
+void FaultInjectingByteSource::set_random_transients(double rate,
+                                                     std::uint64_t burst,
+                                                     std::uint64_t seed) {
+  check(rate >= 0.0 && rate <= 1.0, "fault source: rate must be in [0, 1]");
+  check(burst > 0, "fault source: burst must be positive");
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_.transient_rate = rate;
+  plan_.transient_burst = burst;
+  plan_.seed = seed;
+  rng_ = Rng(seed);
+  armed_.clear();
+  cleared_.clear();
+}
+
+void FaultInjectingByteSource::clear_faults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_.faults.clear();
+  plan_.transient_rate = 0.0;
+  plan_.latency_us = 0;
+  armed_.clear();
+  cleared_.clear();
+}
+
+FaultStats FaultInjectingByteSource::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FaultInjectingByteSource::read_at(std::uint64_t offset, MutableByteSpan dst) {
+  bool fail = false;
+  bool short_read = false;
+  std::uint64_t delay = 0;
+  std::vector<CorruptionOp> ops;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.reads;
+    delay = plan_.latency_us;
+    for (FaultSpec& f : plan_.faults) {
+      if (!fault_matches(f, offset, dst.size())) continue;
+      switch (f.kind) {
+        case FaultSpec::Kind::kTransient:
+          if (!fail && !short_read && f.count > 0) {
+            --f.count;
+            fail = true;
+          }
+          break;
+        case FaultSpec::Kind::kShortRead:
+          if (!fail && !short_read && f.count > 0) {
+            --f.count;
+            short_read = true;
+          }
+          break;
+        case FaultSpec::Kind::kFlip:
+        case FaultSpec::Kind::kZeroFill: {
+          const std::uint64_t lo = std::max(offset, f.offset);
+          const std::uint64_t hi =
+              std::min(offset + dst.size(), f.offset + f.length);
+          if (lo < hi) {
+            ops.push_back(CorruptionOp{
+                static_cast<std::size_t>(lo - offset),
+                static_cast<std::size_t>(hi - offset),
+                f.kind == FaultSpec::Kind::kFlip ? f.mask : std::uint8_t{0}});
+          }
+          break;
+        }
+        case FaultSpec::Kind::kLatency:
+          if (f.count == 0) {
+            delay = std::max(delay, f.delay_us);
+          } else if (f.count > 0) {
+            --f.count;
+            delay = std::max(delay, f.delay_us);
+          }
+          break;
+      }
+    }
+    // Seeded per-offset transient bursts (see FaultPlan doc). Each
+    // offset is rolled exactly once, on its first read: either it fails
+    // the next `burst` attempts then clears, or it is immune for good —
+    // so a read that once succeeded at an offset can never start failing
+    // there later, which is what keeps burst < max_attempts a hard
+    // absorption guarantee rather than a probabilistic one.
+    if (!fail && !short_read && plan_.transient_rate > 0.0 &&
+        cleared_.find(offset) == cleared_.end()) {
+      const auto armed = armed_.find(offset);
+      if (armed != armed_.end()) {
+        if (--armed->second == 0) {
+          armed_.erase(armed);
+          cleared_.insert(offset);
+        }
+        fail = true;
+      } else if (rng_.next_double() < plan_.transient_rate) {
+        if (plan_.transient_burst > 1) {
+          armed_.emplace(offset, plan_.transient_burst - 1);
+        } else {
+          cleared_.insert(offset);
+        }
+        fail = true;
+      } else {
+        cleared_.insert(offset);
+      }
+    }
+    if (fail) ++stats_.transient_failures;
+    if (short_read) ++stats_.short_reads;
+    if (delay > 0) ++stats_.delayed_reads;
+    if (!fail && !short_read && !ops.empty()) ++stats_.corrupted_reads;
+  }
+
+  if (delay > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  if (fail) throw IoError("fault injection: transient read failure");
+  if (short_read) {
+    // Deliver a prefix, then fail — callers must not trust a buffer a
+    // failed read touched.
+    const std::size_t half = dst.size() / 2;
+    if (half > 0) inner_->read_at(offset, dst.subspan(0, half));
+    throw IoError("fault injection: short read");
+  }
+  inner_->read_at(offset, dst);
+  for (const CorruptionOp& op : ops) {
+    if (op.mask == 0) {
+      std::memset(dst.data() + op.begin, 0, op.end - op.begin);
+    } else {
+      for (std::size_t i = op.begin; i < op.end; ++i) dst[i] ^= op.mask;
+    }
+  }
+}
+
+}  // namespace gompresso::serve

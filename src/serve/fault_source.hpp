@@ -1,0 +1,158 @@
+// Deterministic fault injection for the serve plane.
+//
+// FaultInjectingByteSource wraps any ByteSource with a seeded FaultPlan:
+// transient read failures (fail attempts 1..k at an offset, then
+// succeed), bit-flips and zero-fills over chosen extents (persistent —
+// they model damaged media, so every read of the extent sees them),
+// short reads, and injected latency. The same plan replays identically
+// run-to-run, which is what lets the chaos soak, the degraded-mode
+// bench gate, and `gomp --inject-faults` all share one harness.
+//
+// Everything transient throws gompresso::IoError (the retriable class);
+// corruptions silently alter the delivered bytes, so damage is caught
+// exactly where production would catch it — the per-block CRC.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "serve/byte_source.hpp"
+#include "util/rng.hpp"
+
+namespace gompresso::serve {
+
+/// One scripted fault. A read matches when `offset` is kAnyOffset, when
+/// it starts exactly at `offset` (length == 0 — the "fail the prefetch
+/// of block N" form), or when its byte range intersects
+/// [offset, offset + length).
+struct FaultSpec {
+  enum class Kind : std::uint8_t {
+    kTransient,  // matching reads throw IoError, `count` times, then clear
+    kShortRead,  // matching reads fill a prefix of dst then throw IoError
+    kFlip,       // bytes in the extent are XORed with `mask` (persistent)
+    kZeroFill,   // bytes in the extent read back as zero (persistent)
+    kLatency,    // matching reads are delayed `delay_us` (count 0 = always)
+  };
+  static constexpr std::uint64_t kAnyOffset = ~0ull;
+
+  Kind kind = Kind::kTransient;
+  std::uint64_t offset = kAnyOffset;
+  std::uint64_t length = 0;
+  std::uint64_t count = 1;     // remaining occurrences (kTransient/kShortRead;
+                               // kLatency: 0 = every matching read)
+  std::uint8_t mask = 0x40;    // kFlip XOR mask (must be nonzero)
+  std::uint64_t delay_us = 0;  // kLatency
+
+  static FaultSpec transient_at(std::uint64_t offset, std::uint64_t count = 1) {
+    FaultSpec f;
+    f.kind = Kind::kTransient;
+    f.offset = offset;
+    f.count = count;
+    return f;
+  }
+  static FaultSpec transient_any(std::uint64_t count) {
+    return transient_at(kAnyOffset, count);
+  }
+  static FaultSpec short_read_at(std::uint64_t offset, std::uint64_t count = 1) {
+    FaultSpec f;
+    f.kind = Kind::kShortRead;
+    f.offset = offset;
+    f.count = count;
+    return f;
+  }
+  static FaultSpec flip(std::uint64_t offset, std::uint64_t length,
+                        std::uint8_t mask = 0x40) {
+    FaultSpec f;
+    f.kind = Kind::kFlip;
+    f.offset = offset;
+    f.length = length;
+    f.mask = mask;
+    return f;
+  }
+  static FaultSpec zero_fill(std::uint64_t offset, std::uint64_t length) {
+    FaultSpec f;
+    f.kind = Kind::kZeroFill;
+    f.offset = offset;
+    f.length = length;
+    return f;
+  }
+  static FaultSpec latency(std::uint64_t delay_us, std::uint64_t offset = kAnyOffset,
+                           std::uint64_t count = 0) {
+    FaultSpec f;
+    f.kind = Kind::kLatency;
+    f.offset = offset;
+    f.count = count;
+    f.delay_us = delay_us;
+    return f;
+  }
+};
+
+/// A reproducible fault schedule: scripted faults plus an optional
+/// seeded random transient-failure rate.
+///
+/// Random transients are per-offset bursts: when a read's offset first
+/// triggers (probability `transient_rate`), that offset fails exactly
+/// `transient_burst` consecutive attempts, then succeeds and becomes
+/// immune. With burst < RetryPolicy::max_attempts this makes "every
+/// transient fault is absorbed by retries" a deterministic property,
+/// not a probabilistic one — the invariant the chaos soak asserts.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+  double transient_rate = 0.0;
+  std::uint64_t transient_burst = 1;
+  std::uint64_t seed = 1;
+  std::uint64_t latency_us = 0;  // fixed delay added to every read
+
+  /// Parses the `--inject-faults` CLI grammar (comma-separated items):
+  ///   transient@OFF[:COUNT]   transient@*:COUNT      short@OFF[:COUNT]
+  ///   flip@OFF+LEN[:MASK]     zero@OFF+LEN
+  ///   rate=P  burst=K  seed=N  latency=US
+  /// Offsets/counts are decimal; MASK is decimal or 0x-hex. Throws
+  /// gompresso::Error on a malformed spec.
+  static FaultPlan parse(const std::string& spec);
+};
+
+struct FaultStats {
+  std::uint64_t reads = 0;
+  std::uint64_t transient_failures = 0;  // IoErrors thrown (scripted + random)
+  std::uint64_t short_reads = 0;
+  std::uint64_t corrupted_reads = 0;     // reads with at least one byte altered
+  std::uint64_t delayed_reads = 0;
+};
+
+/// ByteSource decorator executing a FaultPlan. Thread-safe: read_at may
+/// be called concurrently (fault bookkeeping is under one mutex; the
+/// wrapped source's read runs outside it).
+class FaultInjectingByteSource final : public ByteSource {
+ public:
+  explicit FaultInjectingByteSource(std::unique_ptr<ByteSource> inner,
+                                    FaultPlan plan = {});
+
+  std::uint64_t size() const override { return inner_->size(); }
+  void read_at(std::uint64_t offset, MutableByteSpan dst) override;
+
+  /// Arms another fault on a live source (e.g. after the session's
+  /// index scan, so open succeeds and only block reads fault).
+  void inject(FaultSpec fault);
+  /// Arms (or re-seeds) the random transient plan on a live source.
+  void set_random_transients(double rate, std::uint64_t burst, std::uint64_t seed);
+  /// Disarms every scripted fault and the random plan.
+  void clear_faults();
+
+  FaultStats stats() const;
+
+ private:
+  std::unique_ptr<ByteSource> inner_;
+  mutable std::mutex mutex_;
+  FaultPlan plan_;  // counts mutate as faults fire
+  Rng rng_;
+  std::unordered_map<std::uint64_t, std::uint64_t> armed_;  // offset -> fails left
+  std::unordered_set<std::uint64_t> cleared_;  // offsets done failing (immune)
+  FaultStats stats_;
+};
+
+}  // namespace gompresso::serve

@@ -31,7 +31,7 @@ SeekIndex SeekIndex::build(ByteSource& source) {
   SeekIndex index;
   index.source_size_ = source.size();
   SourceReader reader(source);
-  check(source.size() >= 4, "serve: input too small for a container");
+  check_format(source.size() >= 4, "serve: input too small for a container");
   const std::uint32_t magic = reader.read_u32le();
 
   if (magic == format::kMagic) {
@@ -47,19 +47,19 @@ SeekIndex SeekIndex::build(ByteSource& source) {
     return index;
   }
 
-  check(magic == kStreamMagic, "serve: not a Gompresso container or stream");
+  check_format(magic == kStreamMagic, "serve: not a Gompresso container or stream");
   index.is_stream_ = true;
   while (true) {
     const std::uint64_t seg_size = reader.read_varint();
     if (seg_size == 0) break;  // terminator
-    check(seg_size <= (1ull << 40), "stream: implausible segment size");
+    check_format(seg_size <= (1ull << 40), "stream: implausible segment size");
     const std::uint64_t seg_begin = reader.offset();
-    check(seg_size <= source.size() - seg_begin, "stream: truncated segment");
+    check_format(seg_size <= source.size() - seg_begin, "stream: truncated segment");
     Segment seg;
     seg.header = format::FileHeader::deserialize(reader);
     seg.comp_offset = seg_begin;
     seg.header_bytes = reader.offset() - seg_begin;
-    check(seg.header_bytes <= seg_size, "stream: segment smaller than its header");
+    check_format(seg.header_bytes <= seg_size, "stream: segment smaller than its header");
     seg.header.check_payload(seg_size - seg.header_bytes);
     index.append_segment(std::move(seg));
     reader.seek_to(seg_begin + seg_size);
@@ -101,21 +101,21 @@ Bytes SeekIndex::serialize() const {
 
 SeekIndex SeekIndex::deserialize(ByteSpan sidecar) {
   util::SpanReader reader(sidecar);
-  check(reader.read_u32le() == kIndexMagic, "serve: bad seek-index magic");
-  check(reader.read_u8() == kIndexVersion, "serve: unsupported seek-index version");
+  check_format(reader.read_u32le() == kIndexMagic, "serve: bad seek-index magic");
+  check_format(reader.read_u8() == kIndexVersion, "serve: unsupported seek-index version");
   SeekIndex index;
   index.source_size_ = reader.read_varint();
   index.comp_end_ = reader.read_varint();
   index.is_stream_ = reader.read_u8() != 0;
   const std::uint64_t num_segments = reader.read_varint();
-  check(num_segments <= (1ull << 32), "serve: implausible segment count");
+  check_format(num_segments <= (1ull << 32), "serve: implausible segment count");
   for (std::uint64_t s = 0; s < num_segments; ++s) {
     Segment seg;
     seg.comp_offset = reader.read_varint();
     seg.header_bytes = reader.read_varint();
     const std::uint64_t header_end = reader.offset() + seg.header_bytes;
     seg.header = format::FileHeader::deserialize(reader);
-    check(reader.offset() == header_end, "serve: seek-index header blob mismatch");
+    check_format(reader.offset() == header_end, "serve: seek-index header blob mismatch");
     // The build path runs check_payload, which enforces this; a sidecar
     // is untrusted and skips it (no payload length in hand), so the
     // block-count invariant must be re-checked here. Without it a header
@@ -127,9 +127,9 @@ SeekIndex SeekIndex::deserialize(ByteSpan sidecar) {
     // Subtractive bound: a crafted offset near 2^64 must not wrap an
     // additive comparison into acceptance (same hardening discipline as
     // FileHeader::check_payload).
-    check(seg.header_bytes <= index.source_size_ &&
-              seg.comp_offset <= index.source_size_ - seg.header_bytes,
-          "serve: seek-index segment outside source");
+    check_format(seg.header_bytes <= index.source_size_ &&
+                     seg.comp_offset <= index.source_size_ - seg.header_bytes,
+                 "serve: seek-index segment outside source");
     const std::size_t first_block = index.blocks_.size();
     index.append_segment(std::move(seg));
     // Every block extent the sidecar implies must lie inside the source.
@@ -138,27 +138,27 @@ SeekIndex SeekIndex::deserialize(ByteSpan sidecar) {
     // later entry could wrap back into range.
     for (std::size_t b = first_block; b < index.blocks_.size(); ++b) {
       const BlockEntry& e = index.blocks_[b];
-      check(e.comp_offset <= index.source_size_ &&
-                e.comp_size <= index.source_size_ - e.comp_offset,
-            "serve: seek-index block outside source");
+      check_format(e.comp_offset <= index.source_size_ &&
+                       e.comp_size <= index.source_size_ - e.comp_offset,
+                   "serve: seek-index block outside source");
     }
   }
-  check(index.comp_end_ <= index.source_size_, "serve: corrupt seek index");
+  check_format(index.comp_end_ <= index.source_size_, "serve: corrupt seek index");
   return index;
 }
 
 void SeekIndex::save(const std::string& path) const {
   const Bytes data = serialize();
   std::ofstream out(path, std::ios::binary);
-  check(out.good(), "serve: cannot open sidecar for writing");
+  check_io(out.good(), "serve: cannot open sidecar for writing");
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size()));
-  check(out.good(), "serve: sidecar write failed");
+  check_io(out.good(), "serve: sidecar write failed");
 }
 
 SeekIndex SeekIndex::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  check(in.good(), "serve: cannot open sidecar");
+  check_io(in.good(), "serve: cannot open sidecar");
   const Bytes data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   return deserialize(data);

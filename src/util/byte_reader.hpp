@@ -41,7 +41,7 @@ class ByteReader {
     std::uint64_t v = 0;
     unsigned shift = 0;
     while (true) {
-      check(shift < 64, "varint: value too long");
+      check_format(shift < 64, "varint: value too long");
       const std::uint8_t byte = read_u8();
       v |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
       if ((byte & 0x80u) == 0) return v;
@@ -65,7 +65,10 @@ class ByteReader {
   void read_exact(MutableByteSpan dst) {
     const std::size_t in_window =
         std::min<std::size_t>(dst.size(), static_cast<std::size_t>(end_ - pos_));
-    std::memcpy(dst.data(), pos_, in_window);
+    // Guard the empty-window case: pos_ is null before the first window
+    // is installed, and memcpy's pointer arguments are nonnull even for
+    // zero lengths.
+    if (in_window != 0) std::memcpy(dst.data(), pos_, in_window);
     pos_ += in_window;
     if (in_window < dst.size()) read_direct(dst.subspan(in_window));
   }
@@ -108,7 +111,7 @@ class ByteReader {
     std::size_t got = 0;
     while (got < dst.size()) {
       install_window(next_window());
-      check(begin_ != end_, "read: truncated input");
+      check_format(begin_ != end_, "read: truncated input");
       const std::size_t take = std::min<std::size_t>(
           dst.size() - got, static_cast<std::size_t>(end_ - pos_));
       std::memcpy(dst.data() + got, pos_, take);
@@ -139,7 +142,7 @@ class ByteReader {
  private:
   void require_window() {
     install_window(next_window());
-    check(pos_ != end_, "read: truncated input");
+    check_format(pos_ != end_, "read: truncated input");
   }
 
   const std::uint8_t* begin_ = nullptr;
@@ -161,7 +164,7 @@ class SpanReader : public ByteReader {
   }
 
   bool try_seek(std::uint64_t abs) override {
-    check(abs <= data_.size(), "read: seek past end of input");
+    check_format(abs <= data_.size(), "read: seek past end of input");
     served_ = false;
     reset_cursor(abs);
     return true;
@@ -202,7 +205,7 @@ class IstreamReader : public ByteReader {
     in_.read(reinterpret_cast<char*>(buf_.data()),
              static_cast<std::streamsize>(buf_.size()));
     const std::size_t got = static_cast<std::size_t>(in_.gcount());
-    check(got > 0 || in_.eof(), "read: stream read failed");
+    check_io(got > 0 || in_.eof(), "read: stream read failed");
     if (got > 0) in_.clear();  // clear eof latched by a short final read
     return ByteSpan(buf_.data(), got);
   }
@@ -211,7 +214,7 @@ class IstreamReader : public ByteReader {
     if (!seekable_) return false;
     in_.clear();
     in_.seekg(base_ + static_cast<std::streamoff>(abs));
-    check(in_.good(), "read: stream seek failed");
+    check_io(in_.good(), "read: stream seek failed");
     reset_cursor(abs);
     return true;
   }
@@ -223,8 +226,12 @@ class IstreamReader : public ByteReader {
     const std::uint64_t end = offset() + dst.size();
     in_.read(reinterpret_cast<char*>(dst.data()),
              static_cast<std::streamsize>(dst.size()));
-    check(static_cast<std::size_t>(in_.gcount()) == dst.size(),
-          "read: truncated input");
+    if (static_cast<std::size_t>(in_.gcount()) != dst.size()) {
+      // Distinguish a failing device from an input that simply ends
+      // early: eof is structural truncation, anything else is I/O.
+      check_io(in_.eof(), "read: stream read failed");
+      throw FormatError("read: truncated input");
+    }
     reset_cursor(end);
   }
 

@@ -17,16 +17,87 @@
 
 namespace gompresso {
 
+/// Classification of a failure, driving retry and degradation decisions
+/// in the serve plane (see the subclasses below). Retry logic must
+/// branch on these types, never on message strings.
+enum class ErrorKind : std::uint8_t {
+  kConfig = 0,      // invalid configuration / API misuse — not retriable
+  kIo = 1,          // transient I/O — retriable with backoff
+  kCorruption = 2,  // permanent, data-level — containable per block
+  kFormat = 3,      // permanent, structural — fails the whole container
+};
+
 /// Error thrown by public API entry points on malformed input, corrupt
-/// compressed data, or invalid configuration.
+/// compressed data, or invalid configuration. Failures with a known
+/// class are thrown as one of the subclasses below; a plain Error means
+/// invalid configuration or API misuse (ErrorKind::kConfig).
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  virtual ErrorKind kind() const { return ErrorKind::kConfig; }
 };
+
+/// Transient I/O failure (failed pread, stream read/seek error,
+/// unexpected EOF from a device): the same operation may succeed if
+/// retried, so the serve plane's RetryPolicy applies to this type only.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+  ErrorKind kind() const override { return ErrorKind::kIo; }
+};
+
+/// Permanent, data-level damage (CRC mismatch, back-reference out of
+/// window, malformed block payload): retrying reproduces the failure,
+/// but the block-independent container confines it to one block —
+/// degraded reads can zero-fill the block and keep serving.
+class CorruptionError : public Error {
+ public:
+  explicit CorruptionError(const std::string& what) : Error(what) {}
+  ErrorKind kind() const override { return ErrorKind::kCorruption; }
+};
+
+/// Permanent, structural damage (bad magic/version, header or sidecar
+/// validation failure, extents outside the source): the container's
+/// skeleton cannot be trusted, so nothing can be served from it.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+  ErrorKind kind() const override { return ErrorKind::kFormat; }
+};
+
+/// True for failures a retry can plausibly clear.
+inline bool is_transient(const Error& e) { return e.kind() == ErrorKind::kIo; }
+
+/// Throws the taxonomy subclass matching `kind` (kConfig -> plain
+/// Error). Lets a failure recorded as (kind, message) — e.g. by a decode
+/// task publishing to readers on other threads — be re-raised as a
+/// fresh, unshared exception object: libstdc++'s rethrow_exception
+/// rethrows the *same* object, and concurrent rethrows of one
+/// exception_ptr race its destruction against virtual kind() calls.
+[[noreturn]] inline void throw_error(ErrorKind kind, const std::string& what) {
+  switch (kind) {
+    case ErrorKind::kIo: throw IoError(what);
+    case ErrorKind::kCorruption: throw CorruptionError(what);
+    case ErrorKind::kFormat: throw FormatError(what);
+    case ErrorKind::kConfig: break;
+  }
+  throw Error(what);
+}
 
 /// Throws gompresso::Error with `msg` when `cond` is false.
 inline void check(bool cond, const char* msg) {
   if (!cond) throw Error(msg);
+}
+
+/// Typed variants of check(): classify the failure at the throw site.
+inline void check_io(bool cond, const char* msg) {
+  if (!cond) throw IoError(msg);
+}
+inline void check_corrupt(bool cond, const char* msg) {
+  if (!cond) throw CorruptionError(msg);
+}
+inline void check_format(bool cond, const char* msg) {
+  if (!cond) throw FormatError(msg);
 }
 
 using ByteSpan = std::span<const std::uint8_t>;

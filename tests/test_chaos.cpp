@@ -1,0 +1,233 @@
+// Chaos soak for the serve plane: concurrent readers over sessions whose
+// byte source executes randomized fault plans, across all three codecs.
+//
+// Two invariants, both deterministic by construction:
+//   - Transient-only plans (per-offset bursts shorter than the retry
+//     budget) are fully absorbed: every read succeeds and the output is
+//     byte-identical to the input, with zero surfaced errors.
+//   - Corruption plans damage a known set of blocks: verify_archive
+//     reports exactly those blocks, and best-effort reads recover every
+//     byte outside them (zero-filling inside).
+//
+// Trial counts scale with GOMPRESSO_FUZZ_TRIALS (nightly soak budget).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "core/gompresso.hpp"
+#include "datagen/datasets.hpp"
+#include "fuzz_budget.hpp"
+#include "serve/fault_source.hpp"
+#include "util/rng.hpp"
+
+namespace gompresso {
+namespace {
+
+constexpr Codec kCodecs[] = {Codec::kBit, Codec::kByte, Codec::kTans};
+
+struct Fixture {
+  Bytes input;
+  Bytes file;
+
+  explicit Fixture(Codec codec, std::size_t size = 150000) {
+    input = datagen::wikipedia(size);
+    CompressOptions opt;
+    opt.codec = codec;
+    opt.block_size = 16 * 1024;
+    file = compress(input, opt);
+  }
+};
+
+TEST(Chaos, TransientPlansAreFullyAbsorbedUnderConcurrency) {
+  const int trials = testing::fuzz_trials(2);
+  for (const Codec codec : kCodecs) {
+    const Fixture f(codec);
+    for (int trial = 0; trial < trials; ++trial) {
+      auto faulty = std::make_unique<serve::FaultInjectingByteSource>(
+          serve::memory_source(ByteSpan(f.file.data(), f.file.size())));
+      serve::FaultInjectingByteSource* handle = faulty.get();
+      serve::SessionOptions opt;
+      opt.num_threads = 4;
+      opt.max_inflight_blocks = 4;
+      opt.cache_blocks = 4;  // small cache forces re-decodes (fresh faults)
+      opt.sleep_hook = [](std::uint64_t) {};  // backoff without wall time
+      DecodeSession session(std::move(faulty), opt);
+
+      // Armed after the scan; burst 2 < max_attempts 3 makes absorption
+      // a certainty, not a probability.
+      handle->set_random_transients(/*rate=*/0.3, /*burst=*/2,
+                                    /*seed=*/1000u + static_cast<unsigned>(trial));
+
+      const std::uint64_t total = session.size();
+      Bytes sequential(total);
+      std::atomic<bool> failed{false};
+      std::vector<std::thread> readers;
+      // One sequential pass through the shared cursor...
+      readers.emplace_back([&] {
+        try {
+          std::size_t done = 0, n;
+          Bytes chunk(7000);
+          while ((n = session.read(MutableByteSpan(chunk.data(), chunk.size()))) > 0) {
+            // read() serializes the cursor, so ranges are consecutive.
+            std::copy(chunk.begin(), chunk.begin() + static_cast<long>(n),
+                      sequential.begin() + static_cast<long>(done));
+            done += n;
+          }
+          if (done != total) failed = true;
+        } catch (...) {
+          failed = true;
+        }
+      });
+      // ...plus random positional readers hammering the cache and the
+      // retry path concurrently.
+      for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&, r] {
+          try {
+            Rng rng(static_cast<std::uint64_t>(trial * 31 + r + 1));
+            Bytes buf(4096);
+            for (int i = 0; i < 24; ++i) {
+              const std::uint64_t off = rng.next_below(total);
+              const std::size_t n = session.read_at(
+                  off, MutableByteSpan(buf.data(), buf.size()));
+              if (!std::equal(buf.begin(), buf.begin() + static_cast<long>(n),
+                              f.input.begin() + static_cast<long>(off))) {
+                failed = true;
+              }
+            }
+          } catch (...) {
+            failed = true;
+          }
+        });
+      }
+      for (std::thread& t : readers) t.join();
+
+      ASSERT_FALSE(failed) << "codec " << static_cast<int>(codec) << " trial "
+                           << trial;
+      ASSERT_EQ(sequential, f.input);
+      const serve::SessionStats st = session.stats();
+      EXPECT_EQ(st.permanent_errors, 0u);
+      EXPECT_EQ(st.bytes_zero_filled, 0u);
+      // The plan did fire (rate 0.3 over dozens of block reads) and was
+      // absorbed invisibly.
+      EXPECT_GT(handle->stats().transient_failures, 0u);
+      EXPECT_EQ(st.retries, st.transient_errors);
+    }
+  }
+}
+
+TEST(Chaos, CorruptionPlansDamageExactlyTheChosenBlocks) {
+  const int trials = testing::fuzz_trials(2);
+  for (const Codec codec : kCodecs) {
+    const Fixture f(codec);
+    // Learn block extents from a clean scan so corruption can be aimed
+    // at block payloads (never the container header the scan parses).
+    const auto clean_source =
+        serve::memory_source(ByteSpan(f.file.data(), f.file.size()));
+    const serve::SeekIndex index = serve::SeekIndex::build(*clean_source);
+    ASSERT_GT(index.num_blocks(), 3u);
+
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(7000u + static_cast<unsigned>(trial) * 13u +
+              static_cast<unsigned>(codec));
+      // Pick 1..3 distinct victim blocks and corrupt a random extent
+      // inside each one's compressed bytes.
+      std::set<std::size_t> victims;
+      const std::size_t num_victims =
+          1 + static_cast<std::size_t>(rng.next_below(3));
+      while (victims.size() < num_victims) {
+        victims.insert(static_cast<std::size_t>(rng.next_below(index.num_blocks())));
+      }
+      serve::FaultPlan plan;
+      for (const std::size_t b : victims) {
+        const serve::BlockEntry& e = index.block(b);
+        const std::uint64_t len = 1 + rng.next_below(std::min<std::uint64_t>(
+                                          e.comp_size, 16));
+        const std::uint64_t off =
+            e.comp_offset + rng.next_below(e.comp_size - len + 1);
+        if (rng.next_below(2) == 0) {
+          plan.faults.push_back(serve::FaultSpec::flip(
+              off, len, static_cast<std::uint8_t>(1 + rng.next_below(255))));
+        } else {
+          plan.faults.push_back(serve::FaultSpec::zero_fill(off, len));
+        }
+      }
+
+      serve::SessionOptions opt;
+      opt.num_threads = 2;
+      opt.sleep_hook = [](std::uint64_t) {};
+      DecodeSession session(
+          std::make_unique<serve::FaultInjectingByteSource>(
+              serve::memory_source(ByteSpan(f.file.data(), f.file.size())),
+              std::move(plan)),
+          serve::SeekIndex(index), opt);
+
+      // Zero-filling compressed bytes can, rarely, reproduce a block
+      // that still decodes (e.g. zeroing bytes that were already zero).
+      // Such a block is simply not damaged; drop it from the expectation.
+      const serve::DamageReport scrub = session.verify_archive();
+      std::set<std::size_t> damaged;
+      for (const serve::DamagedExtent& e : scrub.extents) damaged.insert(e.block);
+      for (const std::size_t b : damaged) {
+        EXPECT_TRUE(victims.count(b) > 0)
+            << "block " << b << " damaged but never corrupted";
+      }
+      for (std::size_t b = 0; b < index.num_blocks(); ++b) {
+        const bool is_damaged = damaged.count(b) > 0;
+        EXPECT_EQ(session.block_health(b) == serve::BlockHealth::kDamaged,
+                  is_damaged)
+            << b;
+      }
+
+      // Best-effort recovery from concurrent readers: every byte outside
+      // a damaged block is exact, every byte inside reads back zero.
+      const std::uint64_t total = session.size();
+      Bytes got(total, std::uint8_t{0xEE});
+      std::atomic<bool> failed{false};
+      std::vector<std::thread> readers;
+      const std::uint64_t shard = (total + 3) / 4;
+      for (int r = 0; r < 4; ++r) {
+        readers.emplace_back([&, r] {
+          try {
+            const std::uint64_t begin = shard * static_cast<std::uint64_t>(r);
+            if (begin >= total) return;
+            const std::size_t len =
+                static_cast<std::size_t>(std::min(shard, total - begin));
+            serve::DamageReport report;
+            if (session.read_at_damage_tolerant(
+                    begin, MutableByteSpan(got.data() + begin, len), &report) !=
+                len) {
+              failed = true;
+            }
+          } catch (...) {
+            failed = true;
+          }
+        });
+      }
+      for (std::thread& t : readers) t.join();
+      ASSERT_FALSE(failed);
+
+      for (std::size_t b = 0; b < index.num_blocks(); ++b) {
+        const serve::BlockEntry& e = index.block(b);
+        const auto begin = got.begin() + static_cast<long>(e.uncomp_offset);
+        if (damaged.count(b) > 0) {
+          EXPECT_TRUE(std::all_of(begin, begin + static_cast<long>(e.uncomp_size),
+                                  [](std::uint8_t v) { return v == 0; }))
+              << "damaged block " << b << " not zero-filled";
+        } else {
+          EXPECT_TRUE(std::equal(begin, begin + static_cast<long>(e.uncomp_size),
+                                 f.input.begin() +
+                                     static_cast<long>(e.uncomp_offset)))
+              << "clean block " << b << " not recovered exactly";
+        }
+      }
+      EXPECT_EQ(session.stats().retries, 0u);  // corruption is never retried
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gompresso

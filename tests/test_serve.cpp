@@ -13,6 +13,7 @@
 
 #include "core/gompresso.hpp"
 #include "datagen/datasets.hpp"
+#include "serve/fault_source.hpp"
 #include "util/rng.hpp"
 #include "util/varint.hpp"
 
@@ -457,65 +458,49 @@ TEST(DecodeSession, CorruptBlockSurfacesOnRead) {
       Error);
 }
 
-/// Delegates to a memory source but throws on the next `fail_budget`
-/// read_at calls — models a transient I/O error (flaky NFS, USB).
-/// When `fail_offset` is set, only reads starting exactly there fail.
-class FlakySource : public serve::ByteSource {
- public:
-  static constexpr std::uint64_t kAnyOffset = ~0ull;
-
-  explicit FlakySource(ByteSpan data) : inner_(serve::memory_source(data)) {}
-  std::uint64_t size() const override { return inner_->size(); }
-  void read_at(std::uint64_t offset, MutableByteSpan dst) override {
-    if (fail_budget > 0 && (fail_offset == kAnyOffset || offset == fail_offset)) {
-      --fail_budget;
-      throw Error("injected transient I/O error");
-    }
-    inner_->read_at(offset, dst);
-  }
-  std::atomic<int> fail_budget{0};
-  std::atomic<std::uint64_t> fail_offset{kAnyOffset};
-
- private:
-  std::unique_ptr<serve::ByteSource> inner_;
-};
-
 TEST(DecodeSession, TransientSourceFailureIsRetriable) {
   // A failed decode is delivered to the reader, not cached: the next
   // read of the same block retries it, so a transient I/O error does
-  // not poison the session for its lifetime.
+  // not poison the session for its lifetime. Retry is disabled so the
+  // single injected fault surfaces instead of being absorbed.
   const Fixture f(100000, 16 * 1024);
-  auto flaky = std::make_unique<FlakySource>(ByteSpan(f.file.data(), f.file.size()));
-  FlakySource* handle = flaky.get();
+  auto flaky = std::make_unique<serve::FaultInjectingByteSource>(
+      serve::memory_source(ByteSpan(f.file.data(), f.file.size())));
+  serve::FaultInjectingByteSource* handle = flaky.get();
   serve::SessionOptions opt;
   opt.num_threads = 1;  // deterministic: decode inline on the reader
+  opt.retry.max_attempts = 1;
   DecodeSession session(std::move(flaky), opt);
 
-  handle->fail_budget = 1;  // arm after the index scan
+  handle->inject(serve::FaultSpec::transient_any(1));  // arm after the index scan
   Bytes buf(1000);
-  EXPECT_THROW(session.read_at(0, MutableByteSpan(buf.data(), buf.size())), Error);
+  EXPECT_THROW(session.read_at(0, MutableByteSpan(buf.data(), buf.size())), IoError);
   // The same range succeeds once the fault clears.
   ASSERT_EQ(session.read_at(0, MutableByteSpan(buf.data(), buf.size())), 1000u);
   EXPECT_TRUE(std::equal(buf.begin(), buf.end(), f.input.begin()));
+  EXPECT_EQ(session.stats().transient_errors, 1u);
 }
 
 TEST(DecodeSession, StalePrefetchFailureRetriedTransparently) {
   // A lookahead decode the reader never observed fails transiently; by
   // the time the reader reaches that block the fault has cleared, so the
   // stale kFailed slot gets one transparent retry instead of aborting
-  // the read.
+  // the read. Backoff retry is disabled so the injected fault reaches
+  // the slot instead of being absorbed inside the decode task.
   const Fixture f(100000, 16 * 1024);
-  auto flaky = std::make_unique<FlakySource>(ByteSpan(f.file.data(), f.file.size()));
-  FlakySource* handle = flaky.get();
+  auto flaky = std::make_unique<serve::FaultInjectingByteSource>(
+      serve::memory_source(ByteSpan(f.file.data(), f.file.size())));
+  serve::FaultInjectingByteSource* handle = flaky.get();
   serve::SessionOptions opt;
   opt.num_threads = 2;
   opt.max_inflight_blocks = 2;
+  opt.retry.max_attempts = 1;
   DecodeSession session(std::move(flaky), opt);
 
   // Fail exactly the prefetch read of block 1, scheduled as lookahead
   // by the first read of block 0.
-  handle->fail_offset = session.index().block(1).comp_offset;
-  handle->fail_budget = 1;
+  handle->inject(
+      serve::FaultSpec::transient_at(session.index().block(1).comp_offset, 1));
   Bytes buf(1000);
   ASSERT_EQ(session.read_at(0, MutableByteSpan(buf.data(), buf.size())), 1000u);
   EXPECT_TRUE(std::equal(buf.begin(), buf.end(), f.input.begin()));
