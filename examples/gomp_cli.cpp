@@ -8,6 +8,7 @@
 //   gomp range <input> <off> <len> [out] random-access read via a session
 //   gomp index <input> [sidecar]         write the seek-index sidecar
 //   gomp verify [options] <input>        scrub every block, report health
+//   gomp stats [options] <input>         read the archive, dump metrics
 //
 // Compression options:
 //   --byte            use Gompresso/Byte (default: Gompresso/Bit)
@@ -28,6 +29,12 @@
 //                     wrap the source in the deterministic fault harness;
 //                     spec grammar is FaultPlan::parse (fault_source.hpp),
 //                     e.g. "rate=0.01,burst=1,seed=7" or "flip@4096+64"
+//   --trace <path>    write a Chrome trace_event JSON of the run (open in
+//                     chrome://tracing or https://ui.perfetto.dev); also
+//                     accepted by `gomp d` and `gomp stats`
+// stats additionally accepts:
+//   --json            machine-readable snapshot on stdout (session stats
+//                     + every registry metric) instead of the text table
 // cat additionally accepts:
 //   --best-effort     zero-fill unrecoverable blocks instead of failing;
 //                     damaged extents go to stderr, exit code 1 if any
@@ -76,14 +83,16 @@ int usage() {
   std::fprintf(stderr,
                "usage: gomp c [--byte] [--no-de] [--block KB] [--window B]\n"
                "              [--subblock N] [--effort N] <input> <output>\n"
-               "       gomp d [--strategy sc|mrr|de|multipass] <input> <output>\n"
+               "       gomp d [--strategy sc|mrr|de|multipass] [--trace OUT]\n"
+               "              <input> <output>\n"
                "       gomp info <input>\n"
                "       gomp cat [--threads N] [--inflight N] [--cache N]\n"
                "                [--index SIDECAR] [--inject-faults SPEC]\n"
-               "                [--best-effort] <input> [<output>]\n"
+               "                [--trace OUT] [--best-effort] <input> [<output>]\n"
                "       gomp range [session opts] <input> <offset> <len> [<output>]\n"
                "       gomp index <input> [<sidecar>]\n"
-               "       gomp verify [session opts] <input>\n");
+               "       gomp verify [session opts] <input>\n"
+               "       gomp stats [session opts] [--json] <input>\n");
   return 2;
 }
 
@@ -126,6 +135,7 @@ constexpr std::uint64_t kMaxSessionBlocks = 1u << 20;  // window / cache caps
 /// cat-only --best-effort flag. Returns false on a malformed flag.
 bool parse_session_args(int argc, char** argv, serve::SessionOptions& opt,
                         std::string& index_path, std::string& fault_spec,
+                        std::string& trace_path,
                         std::vector<std::string>& positional,
                         bool* best_effort = nullptr) {
   for (int i = 0; i < argc; ++i) {
@@ -140,6 +150,8 @@ bool parse_session_args(int argc, char** argv, serve::SessionOptions& opt,
       index_path = argv[++i];
     } else if (arg == "--inject-faults" && i + 1 < argc) {
       fault_spec = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (best_effort != nullptr && arg == "--best-effort") {
       *best_effort = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -171,6 +183,30 @@ std::unique_ptr<DecodeSession> open_session(const std::string& input_path,
   return std::make_unique<DecodeSession>(std::move(source), opt);
 }
 
+/// Arms the tracer when a --trace path was given. finish() must run
+/// after the session is destroyed (its destructor joins in-flight
+/// prefetch decodes) so every span lands in the written file.
+class TraceGuard {
+ public:
+  explicit TraceGuard(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) obs::Tracer::instance().start();
+  }
+
+  void finish() {
+    if (path_.empty() || done_) return;
+    done_ = true;
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.stop();
+    check(tracer.write_chrome_trace(path_), "cannot write trace file");
+    std::fprintf(stderr, "trace written to %s (view in chrome://tracing)\n",
+                 path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  bool done_ = false;
+};
+
 void print_session_stats(const DecodeSession& session, std::uint64_t bytes,
                          double seconds) {
   const serve::SessionStats st = session.stats();
@@ -198,16 +234,17 @@ void print_session_stats(const DecodeSession& session, std::uint64_t bytes,
 
 int cmd_cat(int argc, char** argv) {
   serve::SessionOptions opt;
-  std::string index_path, fault_spec;
+  std::string index_path, fault_spec, trace_path;
   std::vector<std::string> positional;
   bool best_effort = false;
-  if (!parse_session_args(argc, argv, opt, index_path, fault_spec, positional,
-                          &best_effort)) {
+  if (!parse_session_args(argc, argv, opt, index_path, fault_spec, trace_path,
+                          positional, &best_effort)) {
     return usage();
   }
   if (positional.empty() || positional.size() > 2) return usage();
 
-  const auto session = open_session(positional[0], index_path, fault_spec, opt);
+  TraceGuard trace(trace_path);
+  auto session = open_session(positional[0], index_path, fault_spec, opt);
   std::FILE* out = positional.size() == 2
                        ? std::fopen(positional[1].c_str(), "wb")
                        : stdout;
@@ -229,6 +266,8 @@ int cmd_cat(int argc, char** argv) {
   const double seconds = timer.seconds();
   if (out != stdout) std::fclose(out);
   print_session_stats(*session, total, seconds);
+  session.reset();  // join in-flight prefetch before writing the trace
+  trace.finish();
   for (const serve::DamagedExtent& e : damage.extents) {
     std::fprintf(stderr,
                  "damaged: block %zu, bytes %llu..%llu zero-filled (%s)\n",
@@ -241,14 +280,16 @@ int cmd_cat(int argc, char** argv) {
 
 int cmd_verify(int argc, char** argv) {
   serve::SessionOptions opt;
-  std::string index_path, fault_spec;
+  std::string index_path, fault_spec, trace_path;
   std::vector<std::string> positional;
-  if (!parse_session_args(argc, argv, opt, index_path, fault_spec, positional)) {
+  if (!parse_session_args(argc, argv, opt, index_path, fault_spec, trace_path,
+                          positional)) {
     return usage();
   }
   if (positional.size() != 1) return usage();
 
-  const auto session = open_session(positional[0], index_path, fault_spec, opt);
+  TraceGuard trace(trace_path);
+  auto session = open_session(positional[0], index_path, fault_spec, opt);
   Stopwatch timer;
   const serve::DamageReport damage = session->verify_archive();
   const double seconds = timer.seconds();
@@ -258,6 +299,8 @@ int cmd_verify(int argc, char** argv) {
   for (std::size_t b = 0; b < blocks; ++b) {
     if (session->block_health(b) == serve::BlockHealth::kDamaged) ++damaged_blocks;
   }
+  session.reset();
+  trace.finish();
   std::printf("%s: %zu blocks scanned in %.3fs, %zu damaged\n",
               positional[0].c_str(), blocks, seconds, damaged_blocks);
   for (const serve::DamagedExtent& e : damage.extents) {
@@ -271,9 +314,10 @@ int cmd_verify(int argc, char** argv) {
 
 int cmd_range(int argc, char** argv) {
   serve::SessionOptions opt;
-  std::string index_path, fault_spec;
+  std::string index_path, fault_spec, trace_path;
   std::vector<std::string> positional;
-  if (!parse_session_args(argc, argv, opt, index_path, fault_spec, positional)) {
+  if (!parse_session_args(argc, argv, opt, index_path, fault_spec, trace_path,
+                          positional)) {
     return usage();
   }
   if (positional.size() < 3 || positional.size() > 4) return usage();
@@ -288,7 +332,8 @@ int cmd_range(int argc, char** argv) {
     return usage();
   }
 
-  const auto session = open_session(positional[0], index_path, fault_spec, opt);
+  TraceGuard trace(trace_path);
+  auto session = open_session(positional[0], index_path, fault_spec, opt);
   Stopwatch timer;
   const Bytes data = session->read_bytes_at(offset, length);
   const double seconds = timer.seconds();
@@ -300,6 +345,8 @@ int cmd_range(int argc, char** argv) {
   check(std::fwrite(data.data(), 1, data.size(), out) == data.size(), "write failed");
   if (out != stdout) std::fclose(out);
   print_session_stats(*session, data.size(), seconds);
+  session.reset();
+  trace.finish();
   return 0;
 }
 
@@ -368,10 +415,12 @@ int cmd_compress(int argc, char** argv) {
 
 int cmd_decompress(int argc, char** argv) {
   DecompressOptions opt;
-  std::string input_path, output_path;
+  std::string input_path, output_path, trace_path;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--strategy" && i + 1 < argc) {
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--strategy" && i + 1 < argc) {
       const std::string s = argv[++i];
       opt.auto_strategy = false;
       if (s == "sc") {
@@ -396,15 +445,148 @@ int cmd_decompress(int argc, char** argv) {
   if (input_path.empty() || output_path.empty()) return usage();
 
   const Bytes file = read_file(input_path);
+  TraceGuard trace(trace_path);
   Stopwatch timer;
   const DecompressResult result = decompress(file, opt);
   const double seconds = timer.seconds();
+  trace.finish();  // decompress() joins its workers before returning
   write_file(output_path, result.data);
   std::printf("%s: %zu -> %zu bytes, %.2f GB/s, strategy %s, avg rounds %.2f\n",
               input_path.c_str(), file.size(), result.data.size(),
               gb_per_sec(result.data.size(), seconds),
               strategy_name(result.strategy_used),
               result.metrics.avg_rounds_per_group());
+  return 0;
+}
+
+void append_session_json(std::string& out, const serve::SessionStats& st) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"blocks_decoded\":%llu,\"cache_hits\":%llu,\"demand_decodes\":%llu,"
+      "\"prefetch_decodes\":%llu,\"decode_waits\":%llu,\"decode_failures\":%llu,"
+      "\"evictions\":%llu,\"bytes_delivered\":%llu,\"retries\":%llu,"
+      "\"transient_errors\":%llu,\"permanent_errors\":%llu,"
+      "\"degraded_reads\":%llu,\"bytes_zero_filled\":%llu,"
+      "\"pool_peak_bytes\":%llu}",
+      static_cast<unsigned long long>(st.blocks_decoded),
+      static_cast<unsigned long long>(st.cache_hits),
+      static_cast<unsigned long long>(st.demand_decodes),
+      static_cast<unsigned long long>(st.prefetch_decodes),
+      static_cast<unsigned long long>(st.decode_waits),
+      static_cast<unsigned long long>(st.decode_failures),
+      static_cast<unsigned long long>(st.evictions),
+      static_cast<unsigned long long>(st.bytes_delivered),
+      static_cast<unsigned long long>(st.retries),
+      static_cast<unsigned long long>(st.transient_errors),
+      static_cast<unsigned long long>(st.permanent_errors),
+      static_cast<unsigned long long>(st.degraded_reads),
+      static_cast<unsigned long long>(st.bytes_zero_filled),
+      static_cast<unsigned long long>(st.pool.peak_outstanding_bytes));
+  out += buf;
+}
+
+/// `gomp stats`: performs a full sequential read of the archive through
+/// a DecodeSession (each CLI invocation is a fresh process, so this IS
+/// the workload being measured), then dumps the session stats plus the
+/// whole process-wide metrics snapshot.
+int cmd_stats(int argc, char** argv) {
+  serve::SessionOptions opt;
+  std::string index_path, fault_spec, trace_path;
+  std::vector<std::string> positional;
+  bool json = false;
+  // --json is stats-only; strip it before the shared session parser.
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (!parse_session_args(static_cast<int>(rest.size()), rest.data(), opt,
+                          index_path, fault_spec, trace_path, positional)) {
+    return usage();
+  }
+  if (positional.size() != 1) return usage();
+
+  TraceGuard trace(trace_path);
+  serve::SessionStats st;
+  std::size_t blocks = 0;
+  std::uint64_t total = 0;
+  double seconds = 0.0;
+  {
+    const auto session =
+        open_session(positional[0], index_path, fault_spec, opt);
+    blocks = session->index().num_blocks();
+    Stopwatch timer;
+    Bytes chunk(kStreamCopyChunk);
+    while (true) {
+      const std::size_t n =
+          session->read(MutableByteSpan(chunk.data(), chunk.size()));
+      if (n == 0) break;
+      total += n;
+    }
+    seconds = timer.seconds();
+    st = session->stats();
+  }
+  trace.finish();
+  const obs::MetricsSnapshot snap = metrics_snapshot();
+
+  if (json) {
+    std::string out = "{\"schema_version\":1,\"source\":\"";
+    // Paths with quotes/backslashes would need escaping; the registry's
+    // own serializer handles its strings, this one stays simple because
+    // the smoke scripts control the path.
+    out += positional[0];
+    out += "\",\"bytes\":";
+    out += std::to_string(total);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ",\"seconds\":%.6f", seconds);
+    out += buf;
+    out += ",\"session\":";
+    append_session_json(out, st);
+    out += ",\"metrics\":";
+    out += snap.to_json();
+    out += "}\n";
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
+
+  std::printf("%s: %llu bytes in %.3fs (%.1f MB/s), %zu blocks\n",
+              positional[0].c_str(), static_cast<unsigned long long>(total),
+              seconds, seconds > 0 ? total / 1e6 / seconds : 0.0, blocks);
+  std::printf("session: decoded=%llu hits=%llu demand=%llu prefetch=%llu "
+              "waits=%llu evictions=%llu failures=%llu\n",
+              static_cast<unsigned long long>(st.blocks_decoded),
+              static_cast<unsigned long long>(st.cache_hits),
+              static_cast<unsigned long long>(st.demand_decodes),
+              static_cast<unsigned long long>(st.prefetch_decodes),
+              static_cast<unsigned long long>(st.decode_waits),
+              static_cast<unsigned long long>(st.evictions),
+              static_cast<unsigned long long>(st.decode_failures));
+  std::printf("metrics:\n");
+  for (const obs::MetricValue& m : snap.metrics) {
+    switch (m.kind) {
+      case obs::MetricKind::kCounter:
+        std::printf("  %-26s %12llu %s\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.value), m.unit.c_str());
+        break;
+      case obs::MetricKind::kGauge:
+        std::printf("  %-26s %12lld %s (gauge)\n", m.name.c_str(),
+                    static_cast<long long>(m.gauge), m.unit.c_str());
+        break;
+      case obs::MetricKind::kHistogram:
+        std::printf("  %-26s count=%llu mean=%.1f p50<=%llu p99<=%llu %s\n",
+                    m.name.c_str(),
+                    static_cast<unsigned long long>(m.hist.count()),
+                    m.hist.mean(),
+                    static_cast<unsigned long long>(m.hist.percentile(50.0)),
+                    static_cast<unsigned long long>(m.hist.percentile(99.0)),
+                    m.unit.c_str());
+        break;
+    }
+  }
   return 0;
 }
 
@@ -442,6 +624,7 @@ int main(int argc, char** argv) {
     if (cmd == "range") return cmd_range(argc - 2, argv + 2);
     if (cmd == "index") return cmd_index(argc - 2, argv + 2);
     if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);
+    if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
   } catch (const gompresso::Error& e) {
     std::fprintf(stderr, "gomp: %s\n", e.what());
     return 1;

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate an observability JSON artifact against a checked-in schema.
+
+CI runs the `gomp stats --json` snapshot and the `--trace` Chrome
+trace_event export through this so the machine-readable formats can't
+rot silently: the emitters live in C++ (hand-rolled printf JSON), and a
+field rename or a malformed escape would otherwise only be noticed by
+whoever next loads a trace into Perfetto.
+
+The validator implements the JSON-Schema subset the schemas/ files use
+(stdlib only — the container has no jsonschema package):
+
+  type            — "object" | "array" | "string" | "number" |
+                    "integer" | "boolean" (or a list of those)
+  properties      — per-key subschemas on objects
+  required        — keys that must be present on objects
+  additionalProperties — when false, reject keys not in `properties`
+  items           — subschema applied to every array element
+  minItems        — minimum array length
+  enum            — closed set of allowed values
+  minimum         — lower bound on numbers
+
+Usage: check_obs_json.py <schema.json> <artifact.json>
+Exit codes: 0 valid, 1 invalid (all violations listed), 2 usage/IO.
+"""
+
+import json
+import sys
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        # JSON has one number type; an integral float (ts: 730.0) is not
+        # an integer for our purposes, but int is.
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    return False
+
+
+def validate(value, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(type_ok(value, t) for t in allowed):
+            errors.append(f"{path}: expected type {expected}, "
+                          f"got {type(value).__name__}")
+            return  # structural checks below would only cascade
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        for key, sub in props.items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected key '{key}'")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items, "
+                          f"need >= {schema['minItems']}")
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for i, item in enumerate(value):
+                validate(item, item_schema, f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            schema = json.load(f)
+        with open(argv[2]) as f:
+            artifact = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_obs_json: {e}", file=sys.stderr)
+        return 2
+
+    errors = []
+    validate(artifact, schema, "$", errors)
+    if errors:
+        print(f"check_obs_json: {argv[2]} violates {argv[1]}:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"check_obs_json: {argv[2]} conforms to {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

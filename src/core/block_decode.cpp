@@ -5,10 +5,33 @@
 #include "core/resolve_parallel.hpp"
 #include "core/tans_codec.hpp"
 #include "core/warp_lz77.hpp"
+#include "obs/trace.hpp"
 #include "util/crc32.hpp"
 #include "util/varint.hpp"
 
 namespace gompresso::core {
+namespace {
+
+// Decode-plane metrics. The paper's cost model splits a block into
+// entropy decode (phase 1) and LZ77 resolution (phase 2); the two
+// histograms below are that breakdown, per block, in microseconds.
+struct DecodeObs {
+  obs::Counter blocks = obs::registry().counter("decode.blocks", "blocks");
+  obs::Counter stored_blocks =
+      obs::registry().counter("decode.stored_blocks", "blocks");
+  obs::Counter bytes = obs::registry().counter("decode.bytes", "bytes");
+  obs::Histogram entropy_us =
+      obs::registry().histogram("decode.entropy_us", "us");
+  obs::Histogram resolve_us =
+      obs::registry().histogram("decode.resolve_us", "us");
+};
+
+DecodeObs& decode_obs() {
+  static DecodeObs instance;
+  return instance;
+}
+
+}  // namespace
 
 Strategy resolve_strategy(const DecompressOptions& options,
                           const format::FileHeader& header) {
@@ -36,6 +59,7 @@ void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc
     check_corrupt(payload.size() == out.size(),
                   "decompress: stored block size mismatch");
     std::copy(payload.begin(), payload.end(), out.begin());
+    decode_obs().stored_blocks.add(1);
   } else {
     check_corrupt(mode == kBlockModeCoded, "decompress: unknown block mode");
     // Phase 1: token decode. Every codec decodes into the context's
@@ -51,18 +75,22 @@ void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc
       ctx.scratch_reserved = true;
     }
     const lz77::TokenBlock* tokens = nullptr;
-    if (header.codec == Codec::kBit) {
-      BitCodecConfig bit_config;
-      bit_config.tokens_per_subblock = header.tokens_per_subblock;
-      bit_config.codeword_limit = header.codeword_limit;
-      tokens = &decode_block_bit(payload, bit_config, ctx.scratch, lane_pool);
-    } else if (header.codec == Codec::kByte) {
-      tokens = &decode_block_byte(payload, ctx.scratch, lane_pool);
-    } else {
-      TansCodecConfig tans_config;
-      tans_config.tokens_per_subblock = header.tokens_per_subblock;
-      tokens = &decode_block_tans(payload, tans_config, ctx.scratch, lane_pool,
-                                  out.size());
+    {
+      obs::StageScope stage("entropy_decode", "decode",
+                            decode_obs().entropy_us);
+      if (header.codec == Codec::kBit) {
+        BitCodecConfig bit_config;
+        bit_config.tokens_per_subblock = header.tokens_per_subblock;
+        bit_config.codeword_limit = header.codeword_limit;
+        tokens = &decode_block_bit(payload, bit_config, ctx.scratch, lane_pool);
+      } else if (header.codec == Codec::kByte) {
+        tokens = &decode_block_byte(payload, ctx.scratch, lane_pool);
+      } else {
+        TansCodecConfig tans_config;
+        tans_config.tokens_per_subblock = header.tokens_per_subblock;
+        tokens = &decode_block_tans(payload, tans_config, ctx.scratch,
+                                    lane_pool, out.size());
+      }
     }
     check_corrupt(tokens->uncompressed_size == out.size(),
                   "decompress: block size mismatch");
@@ -73,6 +101,7 @@ void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc
     // a completed-watermark handoff (resolve_parallel.hpp); otherwise —
     // and for blocks too small to shard — the serial warp simulator
     // runs. The kMultiPass variant keeps its spill semantics regardless.
+    obs::StageScope stage("resolve", "decode", decode_obs().resolve_us);
     if (strategy == Strategy::kMultiPass) {
       MultiPassStats block_multipass;
       resolve_block_multipass(tokens->sequences, tokens->literals.data(),
@@ -90,6 +119,8 @@ void decode_block_at(const format::FileHeader& header, ByteSpan payload_with_crc
                     tokens->literals.size(), out, strategy, &ctx.metrics);
     }
   }
+  decode_obs().blocks.add(1);
+  decode_obs().bytes.add(out.size());
 
   if (verify_checksum) {
     check_corrupt(crc32(ByteSpan(out.data(), out.size())) == stored_crc,

@@ -7,11 +7,30 @@
 #include "core/byte_codec.hpp"
 #include "core/tans_codec.hpp"
 #include "lz77/deflate_tables.hpp"
+#include "obs/trace.hpp"
 #include "util/crc32.hpp"
 #include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 
 namespace gompresso {
+namespace {
+
+// Encode-plane metrics: the compressor's per-block breakdown is LZ77
+// parse (matcher + DE constraint) vs. entropy emit.
+struct CompressObs {
+  obs::Counter blocks = obs::registry().counter("compress.blocks", "blocks");
+  obs::Counter bytes = obs::registry().counter("compress.bytes", "bytes");
+  obs::Histogram parse_us =
+      obs::registry().histogram("compress.parse_us", "us");
+  obs::Histogram emit_us = obs::registry().histogram("compress.emit_us", "us");
+};
+
+CompressObs& compress_obs() {
+  static CompressObs instance;
+  return instance;
+}
+
+}  // namespace
 
 void CompressOptions::validate() const {
   check(block_size >= 1024, "options: block_size must be >= 1 KiB");
@@ -105,16 +124,28 @@ Bytes compress(ByteSpan input, const CompressOptions& options, CompressStats* st
     const core::EncodeScratch::CapSnapshot caps = scratch.capacities();
     lz77::ChainMatcher& matcher =
         scratch.chain_matcher(parser_options.matcher, options.match_effort);
-    lz77::parse_block_into(block, parser_options, matcher, scratch.block,
-                           stats != nullptr ? &parse_stats[b] : nullptr,
-                           &scratch.de_constraint);
+    {
+      obs::StageScope stage("parse", "encode", compress_obs().parse_us);
+      lz77::parse_block_into(block, parser_options, matcher, scratch.block,
+                             stats != nullptr ? &parse_stats[b] : nullptr,
+                             &scratch.de_constraint);
+    }
     if (!(caps == scratch.capacities())) scratch.pending_growth = true;
-    const Bytes& encoded =
-        options.codec == Codec::kByte
-            ? core::encode_block_byte(scratch.block, scratch, lane_pool)
-        : options.codec == Codec::kBit
-            ? core::encode_block_bit(scratch.block, bit_config, scratch, lane_pool)
-            : core::encode_block_tans(scratch.block, tans_config, scratch, lane_pool);
+    const Bytes* encoded_out = nullptr;
+    {
+      obs::StageScope stage("emit", "encode", compress_obs().emit_us);
+      encoded_out =
+          options.codec == Codec::kByte
+              ? &core::encode_block_byte(scratch.block, scratch, lane_pool)
+          : options.codec == Codec::kBit
+              ? &core::encode_block_bit(scratch.block, bit_config, scratch,
+                                        lane_pool)
+              : &core::encode_block_tans(scratch.block, tans_config, scratch,
+                                         lane_pool);
+    }
+    const Bytes& encoded = *encoded_out;
+    compress_obs().blocks.add(1);
+    compress_obs().bytes.add(block.size());
     Bytes& payload = payloads[b];
     if (options.allow_stored_blocks && encoded.size() >= block.size()) {
       // Stored block (DEFLATE's "stored" mode): incompressible blocks are

@@ -17,10 +17,15 @@
 #include "core/decompressor.hpp"      // IWYU pragma: export
 #include "core/options.hpp"           // IWYU pragma: export
 #include "core/stream.hpp"            // IWYU pragma: export
+#include "obs/metrics.hpp"            // IWYU pragma: export
+#include "obs/trace.hpp"              // IWYU pragma: export
 #include "serve/decode_session.hpp"   // IWYU pragma: export
 
 namespace gompresso {
 /// The serve subsystem's streaming session, re-exported for the common
 /// "open a file and read from it" use (see serve/decode_session.hpp).
 using serve::DecodeSession;
+/// One coherent snapshot of the process-wide metrics registry (see
+/// obs/metrics.hpp for the registry and obs/trace.hpp for the tracer).
+using obs::metrics_snapshot;
 }  // namespace gompresso

@@ -2,10 +2,26 @@
 
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace gompresso::core {
 namespace {
 
 using simt::kWarpSize;
+
+// Sharded-resolve metrics: blocks that actually fanned out, and how
+// many back-references each run pushed to the watermark-gated phase B.
+struct ResolveObs {
+  obs::Counter sharded_blocks =
+      obs::registry().counter("resolve.sharded_blocks", "blocks");
+  obs::Counter deferrals =
+      obs::registry().counter("resolve.deferrals", "refs");
+};
+
+ResolveObs& resolve_obs() {
+  static ResolveObs instance;
+  return instance;
+}
 
 /// Watermark value published when a shard fails: above every valid
 /// output offset, so parked waiters wake, observe the abort flag via the
@@ -328,11 +344,20 @@ bool resolve_block_sharded(std::span<const lz77::Sequence> sequences,
   pool.parallel_for(n_shards, [&](std::size_t s) {
     try {
       const ResolveShard& shard = plan.shards[s];
-      resolve_shard_immediate(sequences, shard, literals, out, strategy,
-                              plan.shard_pending[s], plan.shard_dirty[s],
-                              plan.shard_metrics[s]);
-      resolve_shard_deferred(shard, plan.shard_pending[s], out, sync,
-                             plan.shard_metrics[s]);
+      {
+        // Phase A: immediate copies + dirty-bitmap chase, no cross-shard
+        // waits. Phase B below blocks on the completed watermark, so the
+        // two spans expose exactly where a shard's time went.
+        obs::TraceSpan span("resolve_shardA", "resolve");
+        resolve_shard_immediate(sequences, shard, literals, out, strategy,
+                                plan.shard_pending[s], plan.shard_dirty[s],
+                                plan.shard_metrics[s]);
+      }
+      if (!plan.shard_pending[s].empty()) {
+        obs::TraceSpan span("resolve_shardB", "resolve");
+        resolve_shard_deferred(shard, plan.shard_pending[s], out, sync,
+                               plan.shard_metrics[s]);
+      }
       publish_completion(plan, s, out.size());
     } catch (...) {
       publish_abort(sync);
@@ -346,6 +371,8 @@ bool resolve_block_sharded(std::span<const lz77::Sequence> sequences,
     deferred += plan.shard_pending[s].size();
   }
   if (deferrals) *deferrals += deferred;
+  resolve_obs().sharded_blocks.add(1);
+  resolve_obs().deferrals.add(deferred);
   return true;
 }
 

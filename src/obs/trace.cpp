@@ -1,0 +1,133 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace gompresso::obs {
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(steady_now_ns()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer instance;
+  return instance;
+}
+
+std::uint64_t Tracer::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+Tracer::Ring& Tracer::ring() {
+  static thread_local Ring* tls_ring = nullptr;
+  if (tls_ring != nullptr) return *tls_ring;
+  auto ring = std::make_unique<Ring>(0);
+  Ring* r = ring.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    r->tid = static_cast<std::uint32_t>(rings_.size());
+    rings_.push_back(std::move(ring));
+  }
+  tls_ring = r;
+  return *r;
+}
+
+void Tracer::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& r : rings_) {
+    r->count.store(0, std::memory_order_release);
+    r->dropped.store(0, std::memory_order_relaxed);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::record(const char* name, const char* category,
+                    std::uint64_t start_ns, std::uint64_t dur_ns) {
+  Ring& r = ring();
+  const std::uint32_t n = r.count.load(std::memory_order_relaxed);
+  if (n >= kRingCapacity) {
+    r.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  r.events[n] = TraceEvent{name, category, start_ns, dur_ns, r.tid};
+  r.count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& r : rings_) {
+      const std::uint32_t n = r->count.load(std::memory_order_acquire);
+      out.insert(out.end(), r->events.begin(), r->events.begin() + n);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& r : rings_)
+    total += r->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::string Tracer::chrome_json() const {
+  const std::vector<TraceEvent> events = collect();
+
+  std::uint32_t max_tid = 0;
+  for (const TraceEvent& e : events) max_tid = std::max(max_tid, e.tid);
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  if (!events.empty()) {
+    for (std::uint32_t t = 0; t <= max_tid; ++t) {
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu32
+                    ",\"name\":\"thread_name\",\"args\":{\"name\":\"gomp-%"
+                    PRIu32 "\"}}",
+                    first ? "" : ",", t, t);
+      out += buf;
+      first = false;
+    }
+  }
+  for (const TraceEvent& e : events) {
+    // ts/dur in microseconds, fractional part preserved.
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32
+                  ",\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+                  first ? "" : ",", e.tid, e.name, e.category,
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace gompresso::obs

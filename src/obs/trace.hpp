@@ -1,0 +1,149 @@
+// Span-based pipeline tracer: per-thread lock-free ring buffers of
+// (stage, thread, t_start, t_end) events, exported as Chrome
+// `trace_event` JSON (loadable in chrome://tracing and Perfetto).
+//
+// Each thread records into its own fixed-capacity ring — single-writer,
+// so record() is a relaxed count load, a plain slot store, and one
+// release store of the new count. The collector acquire-loads each
+// ring's count and reads only below it, so collection is race-free
+// without ever blocking a recording thread. When a ring fills, further
+// events on that thread are counted as dropped, never blocked.
+//
+// Tracing is off by default; TraceSpan costs one relaxed load when
+// disabled. start()/stop() must not race in-flight spans (the CLI and
+// tests start tracing before submitting work and stop after the
+// session/pool has quiesced).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gompresso::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;      // static-storage stage name
+  const char* category = nullptr;  // static-storage category
+  std::uint64_t start_ns = 0;      // steady time since tracer epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  // dense per-thread id (ring registration order)
+};
+
+class Tracer {
+ public:
+  /// Events retained per thread before drops begin (64 KiB/ring).
+  static constexpr std::size_t kRingCapacity = 1 << 14;
+
+  static Tracer& instance();
+
+  /// Clears all rings and begins recording.
+  void start();
+  /// Stops recording; rings keep their contents for collect().
+  void stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Steady-clock nanoseconds since the tracer's epoch (process start).
+  std::uint64_t now_ns() const;
+
+  /// Appends one complete span to the calling thread's ring. `name` and
+  /// `category` must have static storage duration.
+  void record(const char* name, const char* category, std::uint64_t start_ns,
+              std::uint64_t dur_ns);
+
+  /// Merged copy of every ring, sorted by start time. Call after stop()
+  /// (or after all recording threads have quiesced).
+  std::vector<TraceEvent> collect() const;
+
+  /// Events lost to full rings since the last start().
+  std::uint64_t dropped() const;
+
+  /// Chrome trace_event JSON ("X" complete events, µs timestamps, one
+  /// named thread track per ring).
+  std::string chrome_json() const;
+
+  /// Writes chrome_json() to `path`. Returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Ring {
+    explicit Ring(std::uint32_t tid_in) : events(kRingCapacity), tid(tid_in) {}
+    std::vector<TraceEvent> events;
+    std::atomic<std::uint32_t> count{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint32_t tid;
+  };
+
+  Tracer();
+  Ring& ring();  // calling thread's ring, registered on first use
+
+  const std::uint64_t epoch_ns_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;  // ring list
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span: stamps start at construction when tracing is enabled,
+/// records on destruction. Zero-cost (one relaxed load) when disabled.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : name_(name), category_(category) {
+    Tracer& t = Tracer::instance();
+    if (t.enabled()) {
+      active_ = true;
+      start_ns_ = t.now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (active_) {
+      Tracer& t = Tracer::instance();
+      t.record(name_, category_, start_ns_, t.now_ns() - start_ns_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Times one pipeline stage: records a latency histogram sample (in µs,
+/// when metrics are enabled) and a trace span (when tracing is
+/// enabled). With both planes off this is two relaxed loads.
+class StageScope {
+ public:
+  StageScope(const char* name, const char* category, const Histogram& hist)
+      : name_(name), category_(category), hist_(hist) {
+    Tracer& t = Tracer::instance();
+    tracing_ = t.enabled();
+    timing_ = tracing_ || registry().enabled();
+    if (timing_) start_ns_ = t.now_ns();
+  }
+  ~StageScope() {
+    if (!timing_) return;
+    Tracer& t = Tracer::instance();
+    const std::uint64_t dur_ns = t.now_ns() - start_ns_;
+    hist_.record(dur_ns / 1000);  // no-op if the registry is disabled
+    if (tracing_) t.record(name_, category_, start_ns_, dur_ns);
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  Histogram hist_;
+  std::uint64_t start_ns_ = 0;
+  bool tracing_ = false;
+  bool timing_ = false;
+};
+
+}  // namespace gompresso::obs

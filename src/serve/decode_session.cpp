@@ -4,7 +4,57 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace gompresso::serve {
+namespace {
+
+// Serve-plane metrics: every SessionStats counter mirrored as a named
+// process-wide metric, plus the per-read latency histogram the serve
+// daemon's p50/p99 will report from.
+struct ServeObs {
+  obs::Counter reads = obs::registry().counter("serve.reads", "reads");
+  obs::Histogram read_latency_us =
+      obs::registry().histogram("serve.read_latency_us", "us");
+  obs::Counter blocks_decoded =
+      obs::registry().counter("serve.blocks_decoded", "blocks");
+  obs::Counter cache_hits = obs::registry().counter("serve.cache_hits", "reads");
+  obs::Counter demand_decodes =
+      obs::registry().counter("serve.demand_decodes", "blocks");
+  obs::Counter prefetch_decodes =
+      obs::registry().counter("serve.prefetch_decodes", "blocks");
+  obs::Counter decode_waits =
+      obs::registry().counter("serve.decode_waits", "waits");
+  obs::Counter decode_failures =
+      obs::registry().counter("serve.decode_failures", "blocks");
+  obs::Counter evictions = obs::registry().counter("serve.evictions", "blocks");
+  obs::Counter bytes_delivered =
+      obs::registry().counter("serve.bytes_delivered", "bytes");
+  obs::Counter retries = obs::registry().counter("serve.retries", "retries");
+  obs::Counter transient_errors =
+      obs::registry().counter("serve.transient_errors", "errors");
+  obs::Counter permanent_errors =
+      obs::registry().counter("serve.permanent_errors", "errors");
+  obs::Counter degraded_reads =
+      obs::registry().counter("serve.degraded_reads", "reads");
+  obs::Counter bytes_zero_filled =
+      obs::registry().counter("serve.bytes_zero_filled", "bytes");
+};
+
+ServeObs& serve_obs() {
+  static ServeObs instance;
+  return instance;
+}
+
+/// One counter event, recorded in both planes: the session's own
+/// atomic (SessionStats) and the process-wide registry mirror.
+void bump(std::atomic<std::uint64_t>& local, const obs::Counter& global,
+          std::uint64_t n = 1) {
+  local.fetch_add(n, std::memory_order_relaxed);
+  global.add(n);
+}
+
+}  // namespace
 
 DecodeSession::DecodeSession(std::unique_ptr<ByteSource> source,
                              SessionOptions options)
@@ -97,6 +147,8 @@ Bytes DecodeSession::read_bytes_at(std::uint64_t offset, std::size_t length) {
 std::size_t DecodeSession::read_impl(std::uint64_t offset, MutableByteSpan dst) {
   const std::uint64_t total = size();
   if (offset >= total || dst.empty()) return 0;
+  serve_obs().reads.add(1);
+  obs::StageScope stage("serve_read", "serve", serve_obs().read_latency_us);
   const std::size_t n = static_cast<std::size_t>(
       std::min<std::uint64_t>(dst.size(), total - offset));
   std::size_t done = 0;
@@ -118,6 +170,8 @@ std::size_t DecodeSession::read_at_damage_tolerant(std::uint64_t offset,
                                                    DamageReport* report) {
   const std::uint64_t total = size();
   if (offset >= total || dst.empty()) return 0;
+  serve_obs().reads.add(1);
+  obs::StageScope stage("serve_read", "serve", serve_obs().read_latency_us);
   const std::size_t n = static_cast<std::size_t>(
       std::min<std::uint64_t>(dst.size(), total - offset));
   std::size_t done = 0;
@@ -160,11 +214,8 @@ std::size_t DecodeSession::read_at_damage_tolerant(std::uint64_t offset,
       }
     }
     std::memset(dst.data() + done, 0, take);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.degraded_reads;
-      stats_.bytes_zero_filled += take;
-    }
+    bump(counters_.degraded_reads, serve_obs().degraded_reads);
+    bump(counters_.bytes_zero_filled, serve_obs().bytes_zero_filled, take);
     if (report != nullptr) {
       report->extents.push_back(
           DamagedExtent{off, take, b, kind, std::move(message)});
@@ -219,8 +270,11 @@ void DecodeSession::dispatch(std::unique_lock<std::mutex>& lock,
   // beyond it is prefetch. schedule_locked puts the demanded block
   // first when it schedules it at all.
   const std::size_t demand = to_run.front() == demanded ? 1 : 0;
-  stats_.demand_decodes += demand;
-  stats_.prefetch_decodes += to_run.size() - demand;
+  if (demand != 0) bump(counters_.demand_decodes, serve_obs().demand_decodes);
+  if (to_run.size() > demand) {
+    bump(counters_.prefetch_decodes, serve_obs().prefetch_decodes,
+         to_run.size() - demand);
+  }
   lock.unlock();
   for (const std::uint64_t b : to_run) {
     if (async_) {
@@ -254,11 +308,12 @@ void DecodeSession::fetch_into(std::uint64_t block, std::size_t begin,
     }
     const std::shared_ptr<Slot> slot = it->second;
     if (slot->state == Slot::State::kReady) {
-      if (first_look && !scheduled_here) ++stats_.cache_hits;
+      if (first_look && !scheduled_here)
+        bump(counters_.cache_hits, serve_obs().cache_hits);
       lru_.erase(slot->lru_it);
       lru_.push_front(block);
       slot->lru_it = lru_.begin();
-      stats_.bytes_delivered += len;
+      bump(counters_.bytes_delivered, serve_obs().bytes_delivered, len);
       // Pin the slot and copy outside the lock: a block-sized memcpy
       // under mutex_ would serialize concurrent readers and stall every
       // decode task trying to publish. Eviction skips slots with
@@ -316,7 +371,7 @@ void DecodeSession::fetch_into(std::uint64_t block, std::size_t begin,
       std::rethrow_exception(error);
     }
     ++slot->waiters;
-    ++stats_.decode_waits;
+    bump(counters_.decode_waits, serve_obs().decode_waits);
     ready_cv_.wait(lock, [&] { return slot->state != Slot::State::kScheduled; });
     --slot->waiters;
     first_look = false;
@@ -366,7 +421,7 @@ void DecodeSession::decode_task(std::uint64_t block) {
       slot.state = Slot::State::kReady;
       --inflight_;
       ++ready_count_;
-      ++stats_.blocks_decoded;
+      bump(counters_.blocks_decoded, serve_obs().blocks_decoded);
       lru_.push_front(block);
       slot.lru_it = lru_.begin();
       evict_excess_locked();
@@ -397,11 +452,8 @@ void DecodeSession::decode_task(std::uint64_t block) {
       const bool within_deadline =
           policy.deadline_us == 0 || slept_us + backoff <= policy.deadline_us;
       const bool retry = attempt < policy.max_attempts && within_deadline;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.transient_errors;
-        if (retry) ++stats_.retries;
-      }
+      bump(counters_.transient_errors, serve_obs().transient_errors);
+      if (retry) bump(counters_.retries, serve_obs().retries);
       if (retry) {
         backoff_sleep(backoff);
         slept_us += backoff;
@@ -411,7 +463,7 @@ void DecodeSession::decode_task(std::uint64_t block) {
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (kind == ErrorKind::kCorruption || kind == ErrorKind::kFormat) {
-      ++stats_.permanent_errors;
+      bump(counters_.permanent_errors, serve_obs().permanent_errors);
       health_[static_cast<std::size_t>(block)] = BlockHealth::kDamaged;
       damage_[block] = BlockDamage{kind, what};
     }
@@ -422,7 +474,7 @@ void DecodeSession::decode_task(std::uint64_t block) {
     slot.error_what = std::move(what);
     slot.error = untyped;
     --inflight_;
-    ++stats_.decode_failures;
+    bump(counters_.decode_failures, serve_obs().decode_failures);
     ready_cv_.notify_all();
     return;
   }
@@ -440,7 +492,7 @@ void DecodeSession::evict_excess_locked() {
         slots_.erase(victim);
         lru_.erase(it);
         --ready_count_;
-        ++stats_.evictions;
+        bump(counters_.evictions, serve_obs().evictions);
         evicted = true;
         break;
       }
@@ -463,11 +515,26 @@ void DecodeSession::push_context(std::unique_ptr<core::BlockDecodeContext> ctx) 
 }
 
 SessionStats DecodeSession::stats() const {
+  // Lock-free snapshot: each field is one relaxed atomic load, so this
+  // never stalls a decode task and never observes a torn counter.
+  const AtomicCounters& c = counters_;
+  const auto load = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
   SessionStats s;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    s = stats_;
-  }
+  s.blocks_decoded = load(c.blocks_decoded);
+  s.cache_hits = load(c.cache_hits);
+  s.demand_decodes = load(c.demand_decodes);
+  s.prefetch_decodes = load(c.prefetch_decodes);
+  s.decode_waits = load(c.decode_waits);
+  s.decode_failures = load(c.decode_failures);
+  s.evictions = load(c.evictions);
+  s.bytes_delivered = load(c.bytes_delivered);
+  s.retries = load(c.retries);
+  s.transient_errors = load(c.transient_errors);
+  s.permanent_errors = load(c.permanent_errors);
+  s.degraded_reads = load(c.degraded_reads);
+  s.bytes_zero_filled = load(c.bytes_zero_filled);
   s.pool = buffers_.stats();
   return s;
 }

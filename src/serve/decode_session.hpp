@@ -26,6 +26,7 @@
 // thread gets which range is whatever order the scheduler picks.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <list>
@@ -195,6 +196,14 @@ class DecodeSession {
   std::uint64_t tell() const;
 
   const SeekIndex& index() const { return index_; }
+
+  /// Coherent snapshot of the session's counters. Each field is an
+  /// atomic relaxed load — no lock, so readers and decode tasks are
+  /// never stalled by stats polling, and no counter can be observed
+  /// mid-update (the old struct copy read fields one by one while tasks
+  /// mutated them). Cross-field invariants settle once in-flight work
+  /// quiesces. Every counter is also mirrored into the process-wide
+  /// obs registry under `serve.*`.
   SessionStats stats() const;
 
  private:
@@ -222,6 +231,24 @@ class DecodeSession {
   struct BlockDamage {
     ErrorKind kind = ErrorKind::kCorruption;
     std::string message;
+  };
+
+  /// SessionStats' counters as relaxed atomics: decode tasks and
+  /// readers bump them lock-free, stats() loads them without mutex_.
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> blocks_decoded{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> demand_decodes{0};
+    std::atomic<std::uint64_t> prefetch_decodes{0};
+    std::atomic<std::uint64_t> decode_waits{0};
+    std::atomic<std::uint64_t> decode_failures{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> bytes_delivered{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> transient_errors{0};
+    std::atomic<std::uint64_t> permanent_errors{0};
+    std::atomic<std::uint64_t> degraded_reads{0};
+    std::atomic<std::uint64_t> bytes_zero_filled{0};
   };
 
   void init();
@@ -262,7 +289,7 @@ class DecodeSession {
   std::size_t inflight_ = 0;      // slots in kScheduled state
   std::size_t ready_count_ = 0;   // slots in kReady state
   std::uint64_t cursor_ = 0;
-  SessionStats stats_;
+  AtomicCounters counters_;
   std::vector<BlockHealth> health_;  // per block, guarded by mutex_
   std::unordered_map<std::uint64_t, BlockDamage> damage_;  // kDamaged blocks
   std::vector<std::unique_ptr<core::BlockDecodeContext>> free_contexts_;

@@ -2,8 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace gompresso {
 namespace {
+
+// Pool-plane metrics, registered once on first pool construction.
+// queue_depth tracks submitted-but-not-yet-popped tasks; workers_busy
+// counts threads currently executing job indices or queued tasks.
+struct PoolObs {
+  obs::Counter tasks_submitted =
+      obs::registry().counter("pool.tasks_submitted", "tasks");
+  obs::Counter jobs_dispatched =
+      obs::registry().counter("pool.jobs_dispatched", "jobs");
+  obs::Gauge queue_depth = obs::registry().gauge("pool.queue_depth", "tasks");
+  obs::Gauge workers_busy =
+      obs::registry().gauge("pool.workers_busy", "workers");
+};
+
+PoolObs& pool_obs() {
+  static PoolObs instance;
+  return instance;
+}
 
 // The pool whose job the current thread is executing (nullptr outside any
 // job) and the thread's participant index in that pool. A nested
@@ -24,6 +44,12 @@ thread_local std::size_t tls_worker_index = 0;
 constexpr std::size_t kTaskQueueCapacity = 1024;
 
 ThreadPool::ThreadPool(std::size_t num_threads) : tasks_(kTaskQueueCapacity) {
+  // Construct the obs singletons before this pool finishes constructing:
+  // a static pool (default_pool) drains tasks in its destructor, and
+  // those touch the registry/tracer — this ordering guarantees both are
+  // destroyed after any pool that might still report into them.
+  obs::ensure_initialized();
+  pool_obs();
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
@@ -46,7 +72,10 @@ ThreadPool::~ThreadPool() {
   // Tasks still queued when the workers shut down run here so no waiter
   // on a task's side effects can hang (see the submit() contract).
   std::function<void()> task;
-  while (tasks_.try_pop(task)) task();
+  while (tasks_.try_pop(task)) {
+    pool_obs().queue_depth.add(-1);
+    task();
+  }
 }
 
 void ThreadPool::run_job(Job& job, std::size_t worker_index) const {
@@ -56,6 +85,7 @@ void ThreadPool::run_job(Job& job, std::size_t worker_index) const {
   const std::size_t prev_index = tls_worker_index;
   tls_current_pool = this;
   tls_worker_index = worker_index;
+  pool_obs().workers_busy.add(1);
   while (true) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.count) break;
@@ -67,6 +97,7 @@ void ThreadPool::run_job(Job& job, std::size_t worker_index) const {
     }
     job.done.fetch_add(1, std::memory_order_release);
   }
+  pool_obs().workers_busy.add(-1);
   tls_current_pool = prev_pool;
   tls_worker_index = prev_index;
 }
@@ -104,15 +135,24 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       done_cv_.notify_all();
     }
     std::function<void()> task;
-    while (tasks_.try_pop(task)) task();
+    while (tasks_.try_pop(task)) {
+      pool_obs().queue_depth.add(-1);
+      pool_obs().workers_busy.add(1);
+      task();
+      pool_obs().workers_busy.add(-1);
+    }
   }
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
+  pool_obs().tasks_submitted.add(1);
   if (threads_.empty()) {
     fn();  // no workers to hand the task to — degrade to synchronous
     return;
   }
+  // Count before the (possibly blocking) push so a consumer's pop can
+  // never observe the task without its depth contribution.
+  pool_obs().queue_depth.add(1);
   tasks_.push(std::move(fn));  // blocks at capacity (backpressure)
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -136,6 +176,7 @@ void ThreadPool::run(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(worker, i);
     return;
   }
+  pool_obs().jobs_dispatched.add(1);
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->count = count;
