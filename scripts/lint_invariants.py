@@ -1,0 +1,536 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: the static half of the invariants the test
+suite enforces dynamically.
+
+Three checks, all stdlib-only:
+
+  typed-errors   Every raw `throw Error(` must be allowlisted in
+                 scripts/lint_allowlist.json with a one-line
+                 justification. Anything the taxonomy can classify
+                 (IoError / CorruptionError / FormatError) must use the
+                 typed class — classification is by type, never by
+                 message, so an unclassified throw silently downgrades a
+                 data-corruption failure to kConfig and breaks retry and
+                 degraded-read routing in the serve plane.
+
+  atomic-tags    Every memory_order_release / acquire / acq_rel site
+                 must carry a `// publishes:` or `// pairs-with:`
+                 comment on the same line or within the preceding few
+                 lines, naming what the fence transfers and which load/
+                 store it pairs with. Relaxed-atomic publication bugs
+                 are the one class TSan needs the failing interleaving
+                 to see; the tag rule makes the pairing reviewable.
+
+  no-alloc       Hot decode TUs must not allocate. Release objects are
+                 compiled with -ffunction-sections, so every function
+                 owns a `.text.<symbol>` section; the audit runs nm for
+                 the symbol tables, parses relocation records into a
+                 per-TU call graph, and walks it from the declared hot
+                 roots. Reaching an allocation symbol (operator new,
+                 malloc, ...) through anything but a declared cold entry
+                 point (reserve/build/init and the libstdc++ amortized
+                 growth slow paths) fails the audit with the full call
+                 path. This pins the arena discipline the decode plane
+                 is built around: steady-state blocks decode without
+                 touching the heap.
+
+Config lives in scripts/lint_config.json (hot TUs, hot/cold patterns,
+allocation symbols); the typed-error allowlist in
+scripts/lint_allowlist.json. --self-test seeds one violation and one
+clean fixture per check and proves the check fires exactly on the
+violation.
+
+Usage:
+  lint_invariants.py [--repo DIR] [--build-dir DIR]
+                     [--checks typed-errors,atomic-tags,no-alloc]
+                     [--self-test]
+
+no-alloc needs --build-dir pointing at a Release build tree (the other
+checks are pure source scans).
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SCRIPT_DIR = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_REPO = os.path.dirname(SCRIPT_DIR)
+
+SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h")
+
+# ---------------------------------------------------------------------------
+# typed-errors
+
+
+def iter_source_files(src_root):
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if name.endswith(SOURCE_EXTENSIONS):
+                yield os.path.join(dirpath, name)
+
+
+def check_typed_errors(repo, allowlist_path, errors):
+    """Every raw `throw Error(` must be allowlisted, exactly."""
+    with open(allowlist_path) as f:
+        allowlist = json.load(f)
+    allowed = {}
+    for entry in allowlist["raw_error_throws"]:
+        if not entry.get("justification", "").strip():
+            errors.append(
+                f"typed-errors: allowlist entry for {entry['file']} has no "
+                "justification — every exemption must say why kConfig is the "
+                "right class")
+        allowed[entry["file"]] = entry["count"]
+
+    pattern = re.compile(r"\bthrow Error\(")
+    found = {}
+    src_root = os.path.join(repo, "src")
+    for path in iter_source_files(src_root):
+        rel = os.path.relpath(path, repo)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if pattern.search(line):
+                    found.setdefault(rel, []).append(lineno)
+
+    for rel, lines in sorted(found.items()):
+        if rel not in allowed:
+            for lineno in lines:
+                errors.append(
+                    f"typed-errors: {rel}:{lineno}: raw `throw Error(` — use "
+                    "IoError/CorruptionError/FormatError, or allowlist it in "
+                    "scripts/lint_allowlist.json with a justification")
+        elif len(lines) != allowed[rel]:
+            errors.append(
+                f"typed-errors: {rel}: {len(lines)} raw `throw Error(` sites "
+                f"but the allowlist says {allowed[rel]} — update the entry "
+                "(and its justification) to match")
+    for rel, count in sorted(allowed.items()):
+        if rel not in found:
+            errors.append(
+                f"typed-errors: stale allowlist entry {rel} (expects {count} "
+                "sites, found none) — remove it")
+
+
+# ---------------------------------------------------------------------------
+# atomic-tags
+
+ORDER_PATTERN = re.compile(
+    r"memory_order_(release|acquire|acq_rel)\b")
+TAG_PATTERN = re.compile(r"//.*(publishes:|pairs-with)")
+TAG_WINDOW = 4  # tag may sit on the site line or this many lines above
+
+
+def check_atomic_tags(repo, errors, src_root=None):
+    if src_root is None:
+        src_root = os.path.join(repo, "src")
+    for path in iter_source_files(src_root):
+        rel = os.path.relpath(path, repo)
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+        for i, line in enumerate(lines):
+            m = ORDER_PATTERN.search(line)
+            if m is None:
+                continue
+            window = lines[max(0, i - TAG_WINDOW):i + 1]
+            if not any(TAG_PATTERN.search(w) for w in window):
+                errors.append(
+                    f"atomic-tags: {rel}:{i + 1}: {m.group(0)} site without a "
+                    "`// publishes:` / `// pairs-with:` comment within the "
+                    f"preceding {TAG_WINDOW} lines — say what the fence "
+                    "transfers and which site it pairs with")
+
+
+# ---------------------------------------------------------------------------
+# no-alloc
+
+
+def run_tool(argv):
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.exit(f"lint: `{' '.join(argv)}` failed:\n{proc.stderr}")
+    return proc.stdout
+
+
+def defined_functions(obj_path):
+    """Mangled names of functions defined in the object, via nm."""
+    defined = set()
+    for line in run_tool(["nm", obj_path]).splitlines():
+        parts = line.split()
+        # "<value> <type> <name>"; t/T/w/W in .text are functions.
+        if len(parts) == 3 and parts[1] in ("t", "T", "w", "W"):
+            defined.add(parts[2])
+    return defined
+
+
+SECTION_HEADER = re.compile(r"^RELOCATION RECORDS FOR \[\.text\.(\S+?)\]:")
+
+
+def relocation_graph(obj_path):
+    """Map mangled function name -> set of relocated-to symbol names.
+
+    Requires -ffunction-sections: each function's code lives in
+    `.text.<mangled>`, so the section name identifies the caller.
+    """
+    graph = {}
+    current = None
+    for line in run_tool(["objdump", "-r", obj_path]).splitlines():
+        header = SECTION_HEADER.match(line)
+        if header:
+            current = header.group(1)
+            graph.setdefault(current, set())
+            continue
+        if not line or line.startswith(("RELOCATION", "OFFSET")):
+            if line.startswith("RELOCATION"):
+                current = None  # non-.text.* section (.data.rel.ro, .eh_frame, ...)
+            continue
+        if current is None:
+            continue
+        parts = line.split()
+        if len(parts) < 3:
+            continue
+        # "<offset> <type> <symbol>[+-]<addend>"
+        symbol = re.split(r"[+-]0x", parts[2])[0]
+        if symbol.startswith("."):
+            continue  # section-relative (jump tables, string literals)
+        graph[current].add(symbol)
+    return graph
+
+
+def matches_any(name, patterns):
+    return any(p.search(name) for p in patterns)
+
+
+def audit_object(obj_path, hot_patterns, cold_patterns, alloc_symbols, errors,
+                 label, waivers=(), used_waivers=None):
+    defined = defined_functions(obj_path)
+    graph = relocation_graph(obj_path)
+
+    roots = [fn for fn in graph
+             if matches_any(fn, hot_patterns) and not matches_any(fn, cold_patterns)]
+    if not roots:
+        errors.append(
+            f"no-alloc: {label}: no hot function matched — the hot patterns "
+            "are stale (the audit would vacuously pass); update "
+            "scripts/lint_config.json")
+        return
+
+    for root in sorted(roots):
+        # BFS from the hot root through the intra-TU call graph, keeping
+        # the path so a violation names the full chain.
+        queue = [(root, (root,))]
+        seen = {root}
+        while queue:
+            fn, path = queue.pop(0)
+            for callee in sorted(graph.get(fn, ())):
+                if callee in alloc_symbols:
+                    # A waiver forgives an allocation referenced DIRECTLY
+                    # by the matching function (-O2 inlined the growth or
+                    # closure-construction path into it). It never covers
+                    # allocations reached through a callee: the callee is
+                    # the direct referencer there and needs its own waiver
+                    # or cold classification.
+                    waiver_key = next(
+                        (key for pattern, key in waivers if pattern.search(fn)),
+                        None)
+                    if waiver_key is not None:
+                        if used_waivers is not None:
+                            used_waivers.add(waiver_key)
+                        continue
+                    chain = " -> ".join(path + (callee,))
+                    errors.append(
+                        f"no-alloc: {label}: hot function reaches an "
+                        f"allocation: {chain} — hoist the allocation into a "
+                        "reserve()/plan path, or declare the callee cold / "
+                        "waive the inlined site in scripts/lint_config.json "
+                        "with a justification")
+                    continue
+                if callee in seen or callee not in defined:
+                    continue
+                if matches_any(callee, cold_patterns):
+                    continue  # annotated cold entry point: not traversed
+                seen.add(callee)
+                queue.append((callee, path + (callee,)))
+
+
+def report_stale_waivers(waiver_entries, used_waivers):
+    # Waivers excuse compiler-inlined allocation sites, so whether one
+    # fires depends on the toolchain's inlining decisions: a different
+    # GCC may hoist the same growth path out of line (where the cold
+    # patterns cover it). A stale waiver is therefore a loud warning to
+    # prune, not a failure that would whipsaw between compiler versions.
+    messages = []
+    for key, entry in enumerate(waiver_entries):
+        if key not in used_waivers:
+            messages.append(
+                "no-alloc: stale waiver (matched no allocation site): "
+                f"{entry.get('tu')}: {entry.get('symbol_pattern')} — the "
+                "inlined allocation it excused is gone under this "
+                "toolchain; remove the entry from scripts/lint_config.json "
+                "if it is stale for the pinned CI compiler too")
+    return messages
+
+
+def check_no_alloc(repo, build_dir, config, errors):
+    hot = [re.compile(p) for p in config["hot_function_patterns"]]
+    cold = [re.compile(p) for p in config["cold_entry_patterns"]]
+    alloc = set(config["allocation_symbols"])
+
+    waiver_entries = config.get("hot_allocation_waivers", [])
+    waivers_by_tu = {}
+    for key, entry in enumerate(waiver_entries):
+        if not entry.get("justification", "").strip():
+            errors.append(
+                "no-alloc: waiver without a justification: "
+                f"{entry.get('tu')}: {entry.get('symbol_pattern')}")
+        waivers_by_tu.setdefault(entry["tu"], []).append(
+            (re.compile(entry["symbol_pattern"]), key))
+
+    obj_root = os.path.join(build_dir, "CMakeFiles", "gompresso.dir", "src")
+    missing = []
+    used_waivers = set()
+    for tu in config["hot_translation_units"]:
+        obj_path = os.path.join(obj_root, tu + ".o")
+        if not os.path.exists(obj_path):
+            missing.append(obj_path)
+            continue
+        audit_object(obj_path, hot, cold, alloc, errors, tu,
+                     waivers=waivers_by_tu.get(tu, ()),
+                     used_waivers=used_waivers)
+    if missing:
+        errors.append(
+            "no-alloc: missing Release objects (build the `gompresso` target "
+            "first): " + ", ".join(missing))
+    else:
+        for message in report_stale_waivers(waiver_entries, used_waivers):
+            print(f"lint: warning: {message}")
+
+
+# ---------------------------------------------------------------------------
+# self-test fixtures
+
+FIXTURE_TYPED_VIOLATION = """\
+#include <stdexcept>
+struct Error : std::runtime_error { using std::runtime_error::runtime_error; };
+void f() { throw Error("boom"); }
+"""
+
+FIXTURE_TAG_VIOLATION = """\
+#include <atomic>
+std::atomic<int> x;
+void f() { x.store(1, std::memory_order_release); }
+"""
+
+FIXTURE_TAG_CLEAN = """\
+#include <atomic>
+std::atomic<int> x;
+// publishes: nothing real; pairs-with the acquire in the test reader.
+void f() { x.store(1, std::memory_order_release); }
+"""
+
+FIXTURE_ALLOC = """\
+#include <cstddef>
+unsigned char* cold_build(std::size_t n) { return new unsigned char[n]; }
+int hot_decode(const unsigned char* p, std::size_t n) {
+  int acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += p[i];
+  return acc;
+}
+int hot_violator(std::size_t n) {
+  unsigned char* p = new unsigned char[n];  // the seeded violation
+  int acc = hot_decode(p, n);
+  delete[] p;
+  return acc;
+}
+__attribute__((noinline)) unsigned char* helper_build(std::size_t n) {
+  return new unsigned char[n];
+}
+int hot_indirect(std::size_t n) {
+  unsigned char* p = helper_build(n);  // allocation via a callee
+  int acc = hot_decode(p, n);
+  delete[] p;
+  return acc;
+}
+"""
+
+
+def expect(condition, message, failures):
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        # typed-errors: seeded raw throw fires; allowlisted throw passes.
+        repo = os.path.join(tmp, "repo")
+        os.makedirs(os.path.join(repo, "src"))
+        fixture = os.path.join(repo, "src", "fixture.cpp")
+        with open(fixture, "w") as f:
+            f.write(FIXTURE_TYPED_VIOLATION)
+        allow_empty = os.path.join(tmp, "allow_empty.json")
+        with open(allow_empty, "w") as f:
+            json.dump({"raw_error_throws": []}, f)
+        errors = []
+        check_typed_errors(repo, allow_empty, errors)
+        expect(any("fixture.cpp:3" in e for e in errors),
+               "typed-errors fires on a seeded raw `throw Error(`", failures)
+
+        allow_fixture = os.path.join(tmp, "allow_fixture.json")
+        with open(allow_fixture, "w") as f:
+            json.dump({"raw_error_throws": [
+                {"file": os.path.join("src", "fixture.cpp"), "count": 1,
+                 "justification": "self-test fixture"}]}, f)
+        errors = []
+        check_typed_errors(repo, allow_fixture, errors)
+        expect(not errors, "typed-errors passes on an allowlisted throw",
+               failures)
+
+        errors = []
+        empty_repo = os.path.join(tmp, "empty_repo")
+        os.makedirs(os.path.join(empty_repo, "src"))
+        check_typed_errors(empty_repo, allow_fixture, errors)
+        expect(any("stale allowlist" in e for e in errors),
+               "typed-errors flags a stale allowlist entry", failures)
+
+        # atomic-tags: untagged release fires; tagged passes.
+        with open(fixture, "w") as f:
+            f.write(FIXTURE_TAG_VIOLATION)
+        errors = []
+        check_atomic_tags(repo, errors)
+        expect(any("atomic-tags" in e and "fixture.cpp:3" in e for e in errors),
+               "atomic-tags fires on an untagged release store", failures)
+
+        with open(fixture, "w") as f:
+            f.write(FIXTURE_TAG_CLEAN)
+        errors = []
+        check_atomic_tags(repo, errors)
+        expect(not errors, "atomic-tags passes on a tagged release store",
+               failures)
+
+        # no-alloc: a hot function newing fires with the call chain; a
+        # hot function that only reads passes; the cold builder is exempt.
+        compiler = shutil.which("c++") or shutil.which("g++")
+        if compiler is None:
+            print("  [skip] no C++ compiler on PATH — no-alloc fixtures "
+                  "not compiled (CI always has one)")
+        else:
+            obj = os.path.join(tmp, "fixture_alloc.o")
+            cpp = os.path.join(tmp, "fixture_alloc.cpp")
+            with open(cpp, "w") as f:
+                f.write(FIXTURE_ALLOC)
+            subprocess.run(
+                [compiler, "-O2", "-ffunction-sections", "-c", cpp, "-o", obj],
+                check=True)
+            hot = [re.compile("hot_")]
+            cold = [re.compile("cold_")]
+            alloc = {"_Znwm", "_Znam", "malloc", "calloc", "realloc"}
+            errors = []
+            audit_object(obj, hot, cold, alloc, errors, "fixture_alloc")
+            expect(any("hot_violator" in e and "_Znam" in e for e in errors),
+                   "no-alloc fires on a hot function that allocates",
+                   failures)
+            expect(not any("hot_decode ->" in e for e in errors),
+                   "no-alloc passes the allocation-free hot function",
+                   failures)
+            expect(not any("cold_build" in e for e in errors),
+                   "no-alloc exempts the declared cold entry point", failures)
+            errors = []
+            audit_object(obj, [re.compile("no_such_symbol")], cold, alloc,
+                         errors, "fixture_alloc")
+            expect(any("no hot function matched" in e for e in errors),
+                   "no-alloc refuses to pass vacuously on stale hot patterns",
+                   failures)
+
+            # waivers: a waived function's own (inlined) allocation is
+            # forgiven; an allocation reached through a callee is not;
+            # a waiver that matches nothing is reported stale.
+            waivers = [(re.compile("hot_violator"), 0),
+                       (re.compile("hot_indirect"), 1)]
+            used = set()
+            errors = []
+            audit_object(obj, hot, cold, alloc, errors, "fixture_alloc",
+                         waivers=waivers, used_waivers=used)
+            expect(not any("hot_violator" in e for e in errors),
+                   "no-alloc waiver forgives the function's own allocation",
+                   failures)
+            expect(any("helper_build" in e and "_Znam" in e for e in errors),
+                   "no-alloc waiver does not cover a callee's allocation",
+                   failures)
+            expect(used == {0},
+                   "no-alloc tracks which waivers actually fired", failures)
+            stale = report_stale_waivers(
+                [{"tu": "fixture_alloc", "symbol_pattern": "hot_violator"},
+                 {"tu": "fixture_alloc", "symbol_pattern": "hot_indirect"}],
+                used)
+            expect(any("stale waiver" in m and "hot_indirect" in m
+                       for m in stale) and
+                   not any("hot_violator" in m for m in stale),
+                   "no-alloc flags only the waiver that matched nothing",
+                   failures)
+
+    if failures:
+        sys.exit(f"lint: self-test FAILED ({len(failures)} checks):\n  " +
+                 "\n  ".join(failures))
+    print("lint: self-test OK")
+
+
+# ---------------------------------------------------------------------------
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repo", default=DEFAULT_REPO)
+    parser.add_argument("--build-dir",
+                        help="Release build tree (enables no-alloc)")
+    parser.add_argument("--checks", default=None,
+                        help="comma list: typed-errors,atomic-tags,no-alloc "
+                             "(default: the source checks, plus no-alloc "
+                             "when --build-dir is given)")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+
+    if args.checks is not None:
+        checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+    else:
+        checks = ["typed-errors", "atomic-tags"]
+        if args.build_dir:
+            checks.append("no-alloc")
+    known = {"typed-errors", "atomic-tags", "no-alloc"}
+    unknown = set(checks) - known
+    if unknown:
+        sys.exit(f"lint: unknown checks: {sorted(unknown)}")
+
+    errors = []
+    if "typed-errors" in checks:
+        check_typed_errors(args.repo,
+                           os.path.join(SCRIPT_DIR, "lint_allowlist.json"),
+                           errors)
+    if "atomic-tags" in checks:
+        check_atomic_tags(args.repo, errors)
+    if "no-alloc" in checks:
+        if not args.build_dir:
+            sys.exit("lint: no-alloc needs --build-dir")
+        with open(os.path.join(SCRIPT_DIR, "lint_config.json")) as f:
+            config = json.load(f)
+        check_no_alloc(args.repo, args.build_dir, config, errors)
+
+    if errors:
+        for e in errors:
+            print(e)
+        sys.exit(f"lint: {len(errors)} violation(s) in {', '.join(checks)}")
+    print(f"lint: OK ({', '.join(checks)})")
+
+
+if __name__ == "__main__":
+    main()

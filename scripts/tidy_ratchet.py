@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""clang-tidy ratchet: the finding count may only go down.
+
+Runs clang-tidy (profile: the repo's .clang-tidy) over every library TU
+in compile_commands.json and compares the deduplicated finding count
+against the ceiling in scripts/tidy_baseline.json — the same ratchet
+discipline as scripts/bench_ratchet.py, applied to lint debt instead of
+throughput:
+
+  * count > max_total  -> fail, naming the noisiest checks first;
+  * count < max_total  -> pass, but print the tightened ceiling to
+    commit (the ratchet only has teeth if the slack is reclaimed);
+  * count == max_total -> pass.
+
+Findings are deduplicated by (file, line, column, check) because a
+header diagnostic repeats once per including TU; the ratchet counts
+distinct defects, not recompilations.
+
+The container this repo grows in has no clang-tidy, so the checked-in
+ceiling starts as a reasoned bound rather than a measurement; the first
+CI run prints the true count, and lowering max_total to it is the
+expected follow-up. --update rewrites the baseline from the current run
+(per-check breakdown included) to make that a one-step operation.
+
+Usage: tidy_ratchet.py --build-dir build [--baseline scripts/tidy_baseline.json]
+           [--output build/tidy_output.txt] [--jobs N] [--update]
+
+stdlib-only, like every script in this repo.
+"""
+
+import argparse
+import collections
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SCRIPT_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(SCRIPT_DIR)
+
+# "path:line:col: warning: message [check-name,other-check]"
+FINDING = re.compile(
+    r"^(?P<file>[^\s:]+):(?P<line>\d+):(?P<col>\d+): warning: "
+    r".*\[(?P<checks>[A-Za-z0-9.,_-]+)\]\s*$")
+
+
+def library_sources(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        sys.exit(f"tidy-ratchet: {path} not found — configure with "
+                 "CMAKE_EXPORT_COMPILE_COMMANDS (the default here)")
+    with open(path) as f:
+        commands = json.load(f)
+    sources = sorted({entry["file"] for entry in commands
+                      if os.sep + "src" + os.sep in entry["file"]
+                      and entry["file"].endswith(".cpp")})
+    if not sources:
+        sys.exit("tidy-ratchet: no src/*.cpp entries in compile_commands.json "
+                 "— the ratchet would vacuously pass")
+    return sources
+
+
+def run_one(tidy, build_dir, source):
+    # clang-tidy exits non-zero on warnings only with WarningsAsErrors;
+    # a crash or config error surfaces on stderr with a different code.
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", source],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    if proc.returncode != 0 and "warning" not in proc.stdout:
+        sys.exit(f"tidy-ratchet: clang-tidy failed on {source}:\n"
+                 f"{proc.stderr.strip()}")
+    return proc.stdout
+
+
+def collect_findings(outputs):
+    findings = set()
+    for text in outputs:
+        for line in text.splitlines():
+            m = FINDING.match(line)
+            if not m:
+                continue
+            rel = os.path.relpath(m.group("file"), REPO)
+            for check in m.group("checks").split(","):
+                findings.add((rel, int(m.group("line")),
+                              int(m.group("col")), check))
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", required=True,
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--baseline",
+                        default=os.path.join(SCRIPT_DIR, "tidy_baseline.json"))
+    parser.add_argument("--output",
+                        help="also write the raw findings to this file "
+                             "(uploaded as a CI artifact on failure)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run's count")
+    args = parser.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        sys.exit(f"tidy-ratchet: {args.clang_tidy} not on PATH (the CI "
+                 "static-analysis job installs it; this container does not "
+                 "ship one)")
+
+    sources = library_sources(args.build_dir)
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        outputs = list(pool.map(
+            lambda s: run_one(args.clang_tidy, args.build_dir, s), sources))
+    findings = collect_findings(outputs)
+
+    per_check = collections.Counter(check for *_, check in findings)
+    total = len(findings)
+
+    if args.output:
+        with open(args.output, "w") as f:
+            for rel, line, col, check in sorted(findings):
+                f.write(f"{rel}:{line}:{col}: [{check}]\n")
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump({"max_total": total,
+                       "per_check": dict(sorted(per_check.items()))},
+                      f, indent=2)
+            f.write("\n")
+        print(f"tidy-ratchet: baseline updated: max_total={total}")
+        return
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    ceiling = baseline["max_total"]
+
+    print(f"tidy-ratchet: {total} finding(s) across {len(sources)} TUs "
+          f"(ceiling {ceiling})")
+    for check, count in per_check.most_common():
+        print(f"  {count:4d}  {check}")
+
+    if total > ceiling:
+        sys.exit(f"tidy-ratchet: FAIL — {total} findings exceed the "
+                 f"ceiling of {ceiling}. Fix the new findings (noisiest "
+                 "checks listed above; full locations in the artifact), "
+                 "or — for a deliberate, reviewed exception — raise "
+                 f"{os.path.relpath(args.baseline, REPO)} in the same "
+                 "commit and say why.")
+    if total < ceiling:
+        print(f"tidy-ratchet: slack detected — tighten the ceiling: "
+              f"set max_total to {total} in "
+              f"{os.path.relpath(args.baseline, REPO)} (or run with "
+              "--update).")
+    print("tidy-ratchet: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -140,7 +140,9 @@ Bytes SnappyLike::decompress_block(ByteSpan payload) const {
       std::size_t src = out.size() - offset;
       for (std::uint32_t i = 0; i < len; ++i) out.push_back(out[src + i]);
     } else {
-      throw Error("snappy-like: unsupported tag kind");
+      // Data-level failure in an untrusted payload: corruption, not
+      // config — callers classify by type (PR-6 taxonomy).
+      throw CorruptionError("snappy-like: unsupported tag kind");
     }
   }
   check(out.size() == n, "snappy-like: size mismatch");

@@ -33,13 +33,18 @@ constexpr std::uint64_t kAbortedWatermark = ~std::uint64_t{0};
 /// tail), then parks on the atomic. Throws when the run was aborted by a
 /// failing shard.
 void await_watermark(ResolveSync& sync, std::uint64_t target) {
+  // pairs-with: the release stores in publish_completion/publish_abort —
+  // an acquired watermark >= target makes every byte below it visible.
   std::uint64_t seen = sync.watermark.load(std::memory_order_acquire);
   for (int spin = 0; seen < target && spin < 256; ++spin) {
     if ((spin & 31) == 31) std::this_thread::yield();
+    // pairs-with: the release stores in publish_completion/publish_abort.
     seen = sync.watermark.load(std::memory_order_acquire);
   }
   while (seen < target) {
+    // pairs-with: the release stores in publish_completion/publish_abort.
     sync.watermark.wait(seen, std::memory_order_acquire);
+    // pairs-with: the release stores in publish_completion/publish_abort.
     seen = sync.watermark.load(std::memory_order_acquire);
   }
   check(seen != kAbortedWatermark, "warp_lz77: shard resolution aborted");
@@ -53,7 +58,7 @@ void await_watermark(ResolveSync& sync, std::uint64_t target) {
 void publish_completion(ResolvePlan& plan, std::size_t s, std::uint64_t out_size) {
   ResolveSync& sync = *plan.sync;
   {
-    std::lock_guard<std::mutex> lock(sync.mutex);
+    util::MutexLock lock(sync.mutex);
     if (sync.aborted) return;  // keep the abort sentinel pinned
     plan.shard_done[s] = 1;
     const std::size_t n_shards = plan.shards.size();
@@ -62,6 +67,8 @@ void publish_completion(ResolvePlan& plan, std::size_t s, std::uint64_t out_size
     }
     const std::uint64_t wm =
         sync.next_shard < n_shards ? plan.shards[sync.next_shard].out_base : out_size;
+    // publishes: every output byte below wm (the contiguous completed
+    // shards' writes); pairs-with the acquire loads in await_watermark.
     sync.watermark.store(wm, std::memory_order_release);
   }
   sync.watermark.notify_all();
@@ -73,8 +80,11 @@ void publish_completion(ResolvePlan& plan, std::size_t s, std::uint64_t out_size
 /// if the real error was captured first.
 void publish_abort(ResolveSync& sync) {
   {
-    std::lock_guard<std::mutex> lock(sync.mutex);
+    util::MutexLock lock(sync.mutex);
     sync.aborted = true;
+    // publishes: the abort flag (via the sentinel value itself);
+    // pairs-with the acquire loads in await_watermark, whose check()
+    // turns the sentinel into the unwind path.
     sync.watermark.store(kAbortedWatermark, std::memory_order_release);
   }
   sync.watermark.notify_all();
@@ -331,8 +341,13 @@ bool resolve_block_sharded(std::span<const lz77::Sequence> sequences,
 
   ResolveSync& sync = *plan.sync;
   sync.watermark.store(0, std::memory_order_relaxed);
-  sync.next_shard = 0;
-  sync.aborted = false;
+  {
+    // No shard threads exist yet; the lock is for the analysis, not for
+    // a real race — it keeps the guarded reset visible to TSA.
+    util::MutexLock lock(sync.mutex);
+    sync.next_shard = 0;
+    sync.aborted = false;
+  }
   for (std::size_t s = 0; s < n_shards; ++s) {
     plan.shard_done[s] = 0;
     plan.shard_metrics[s].reset();

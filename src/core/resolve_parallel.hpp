@@ -44,7 +44,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -53,6 +52,7 @@
 #include "lz77/sequence.hpp"
 #include "simt/warp.hpp"
 #include "util/common.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gompresso::core {
@@ -87,9 +87,9 @@ struct ResolveSync {
   /// with acquire — the bytes below the published offset happen-before
   /// any read gated on it.
   std::atomic<std::uint64_t> watermark{0};
-  std::mutex mutex;
-  std::size_t next_shard = 0;  // first incomplete shard (guarded by mutex)
-  bool aborted = false;        // a shard failed; watermark is pinned (guarded)
+  util::Mutex mutex;
+  std::size_t next_shard GUARDED_BY(mutex) = 0;  // first incomplete shard
+  bool aborted GUARDED_BY(mutex) = false;  // a shard failed; watermark pinned
 };
 
 /// The arena-resident shard plan: grows to the high-water shard count of

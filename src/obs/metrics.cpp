@@ -33,7 +33,7 @@ std::atomic<std::uint64_t>* Registry::slots_slow() {
   auto shard = std::make_unique<Shard>();
   std::atomic<std::uint64_t>* slots = shard->slots.data();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     shards_.push_back(std::move(shard));
   }
   // Cache for this thread. A stale entry for a destroyed registry can
@@ -45,7 +45,7 @@ std::atomic<std::uint64_t>* Registry::slots_slow() {
 std::uint32_t Registry::register_metric(std::string_view name,
                                         std::string_view unit, MetricKind kind,
                                         std::uint32_t width) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const Descriptor& d : descriptors_) {
     if (d.name == name) {
       check(d.kind == kind, "obs: metric re-registered with different kind");
@@ -82,7 +82,7 @@ Histogram Registry::histogram(std::string_view name, std::string_view unit) {
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   snap.metrics.reserve(descriptors_.size());
   for (const Descriptor& d : descriptors_) {
     MetricValue mv;
@@ -121,7 +121,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& sh : shards_)
     for (auto& slot : sh->slots) slot.store(0, std::memory_order_relaxed);
   for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);

@@ -28,10 +28,11 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace gompresso::obs {
 
@@ -175,11 +176,11 @@ class Registry {
   /// Merges all shards into plain values. Safe to call concurrently
   /// with hot-path updates (relaxed reads — each counter is internally
   /// consistent; cross-counter invariants settle once writers quiesce).
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const EXCLUDES(mutex_);
 
   /// Zeroes every shard slot and gauge. Test/bench seam; callers must
   /// quiesce writers for an exact zero.
-  void reset();
+  void reset() EXCLUDES(mutex_);
 
   // -- hot-path plumbing (public for the inline handle methods) --------
   void counter_add(std::uint32_t slot, std::uint64_t n) {
@@ -227,18 +228,23 @@ class Registry {
     if (tls_shard_.registry_id == id_) return tls_shard_.slots;
     return slots_slow();
   }
-  std::atomic<std::uint64_t>* slots_slow();  // registers this thread's shard
+  // Registers this thread's shard (cold; the only mutex on the path).
+  std::atomic<std::uint64_t>* slots_slow() EXCLUDES(mutex_);
 
   std::uint32_t register_metric(std::string_view name, std::string_view unit,
-                                MetricKind kind, std::uint32_t width);
+                                MetricKind kind, std::uint32_t width)
+      EXCLUDES(mutex_);
 
   const std::uint64_t id_;
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mutex_;  // registration, shard list, snapshot
-  std::vector<Descriptor> descriptors_;
-  std::uint32_t next_slot_ = 0;
-  std::uint32_t next_gauge_ = 0;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable util::Mutex mutex_;  // registration, shard list, snapshot
+  std::vector<Descriptor> descriptors_ GUARDED_BY(mutex_);
+  std::uint32_t next_slot_ GUARDED_BY(mutex_) = 0;
+  std::uint32_t next_gauge_ GUARDED_BY(mutex_) = 0;
+  // The vector itself (growth, element pointers) is guarded; the atomic
+  // slot arrays the elements own are updated lock-free through the TLS
+  // cache and read with relaxed loads by snapshot().
+  std::vector<std::unique_ptr<Shard>> shards_ GUARDED_BY(mutex_);
   std::array<std::atomic<std::int64_t>, kMaxGauges> gauges_{};
 };
 

@@ -32,7 +32,7 @@ Tracer::Ring& Tracer::ring() {
   auto ring = std::make_unique<Ring>(0);
   Ring* r = ring.get();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     r->tid = static_cast<std::uint32_t>(rings_.size());
     rings_.push_back(std::move(ring));
   }
@@ -41,8 +41,10 @@ Tracer::Ring& Tracer::ring() {
 }
 
 void Tracer::start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& r : rings_) {
+    // publishes: the cleared ring (count 0 truncates any stale events);
+    // pairs-with: the acquire load of count in collect().
     r->count.store(0, std::memory_order_release);
     r->dropped.store(0, std::memory_order_relaxed);
   }
@@ -60,14 +62,18 @@ void Tracer::record(const char* name, const char* category,
     return;
   }
   r.events[n] = TraceEvent{name, category, start_ns, dur_ns, r.tid};
+  // publishes: the event just written to slot n (single-writer ring);
+  // pairs-with: the acquire load of count in collect().
   r.count.store(n + 1, std::memory_order_release);
 }
 
 std::vector<TraceEvent> Tracer::collect() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto& r : rings_) {
+      // pairs-with: the release stores of count in record() and start()
+      // — slots below n are fully written before n became visible.
       const std::uint32_t n = r->count.load(std::memory_order_acquire);
       out.insert(out.end(), r->events.begin(), r->events.begin() + n);
     }
@@ -80,7 +86,7 @@ std::vector<TraceEvent> Tracer::collect() const {
 }
 
 std::uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& r : rings_)
     total += r->dropped.load(std::memory_order_relaxed);

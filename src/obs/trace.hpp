@@ -18,11 +18,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gompresso::obs {
 
@@ -42,7 +42,7 @@ class Tracer {
   static Tracer& instance();
 
   /// Clears all rings and begins recording.
-  void start();
+  void start() EXCLUDES(mutex_);
   /// Stops recording; rings keep their contents for collect().
   void stop();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -57,10 +57,10 @@ class Tracer {
 
   /// Merged copy of every ring, sorted by start time. Call after stop()
   /// (or after all recording threads have quiesced).
-  std::vector<TraceEvent> collect() const;
+  std::vector<TraceEvent> collect() const EXCLUDES(mutex_);
 
   /// Events lost to full rings since the last start().
-  std::uint64_t dropped() const;
+  std::uint64_t dropped() const EXCLUDES(mutex_);
 
   /// Chrome trace_event JSON ("X" complete events, µs timestamps, one
   /// named thread track per ring).
@@ -79,12 +79,15 @@ class Tracer {
   };
 
   Tracer();
-  Ring& ring();  // calling thread's ring, registered on first use
+  // Calling thread's ring, registered on first use (cold path locks).
+  Ring& ring() EXCLUDES(mutex_);
 
   const std::uint64_t epoch_ns_;
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;  // ring list
-  std::vector<std::unique_ptr<Ring>> rings_;
+  mutable util::Mutex mutex_;  // ring list
+  // The list is guarded; each Ring's slots are single-writer (owning
+  // thread) with a release-store count that collect() acquire-loads.
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(mutex_);
 };
 
 /// RAII span: stamps start at construction when tracing is enabled,

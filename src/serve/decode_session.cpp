@@ -98,21 +98,24 @@ void DecodeSession::init() {
   // The cache must hold at least the prefetch window, or the pipeline
   // would evict blocks it just decoded before the reader reaches them.
   cache_capacity_ = std::max(options_.cache_blocks, window_);
+  // Construction is single-threaded; the lock satisfies the analysis
+  // (init() runs outside the constructor-body exemption).
+  util::MutexLock lock(mutex_);
   health_.assign(index_.num_blocks(), BlockHealth::kUnknown);
 }
 
 DecodeSession::~DecodeSession() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  ready_cv_.wait(lock, [&] { return inflight_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (inflight_ != 0) ready_cv_.wait(mutex_);
 }
 
 std::uint64_t DecodeSession::tell() const {
-  std::lock_guard<std::mutex> lock(cursor_mutex_);
+  util::MutexLock lock(cursor_mutex_);
   return cursor_;
 }
 
 void DecodeSession::seek(std::uint64_t offset) {
-  std::lock_guard<std::mutex> lock(cursor_mutex_);
+  util::MutexLock lock(cursor_mutex_);
   cursor_ = offset;
 }
 
@@ -121,7 +124,7 @@ std::size_t DecodeSession::read(MutableByteSpan dst) {
   // calls deliver disjoint consecutive ranges (never the same bytes
   // twice). It is distinct from mutex_ — fetch_into takes that one while
   // blocking on decodes — and is only ever acquired before it.
-  std::lock_guard<std::mutex> lock(cursor_mutex_);
+  util::MutexLock lock(cursor_mutex_);
   const std::size_t n = read_impl(cursor_, dst);
   cursor_ += n;
   return n;
@@ -189,7 +192,7 @@ std::size_t DecodeSession::read_at_damage_tolerant(std::uint64_t offset,
     ErrorKind kind = ErrorKind::kCorruption;
     std::string message;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (health_[b] == BlockHealth::kDamaged) {
         damaged = true;
         const auto it = damage_.find(b);
@@ -239,8 +242,8 @@ DamageReport DecodeSession::verify_archive() {
 }
 
 BlockHealth DecodeSession::block_health(std::size_t b) const {
+  util::MutexLock lock(mutex_);
   check(b < health_.size(), "serve: block index out of range");
-  std::lock_guard<std::mutex> lock(mutex_);
   return health_[b];
 }
 
@@ -261,9 +264,12 @@ void DecodeSession::schedule_locked(std::uint64_t first,
   }
 }
 
-void DecodeSession::dispatch(std::unique_lock<std::mutex>& lock,
+// The lock juggling through the reference parameter is invisible to the
+// thread-safety analysis (see the declaration); callers hold mutex_ on
+// entry and get it back on return.
+void DecodeSession::dispatch(util::MutexLock& lock,
                              const std::vector<std::uint64_t>& to_run,
-                             std::uint64_t demanded) {
+                             std::uint64_t demanded) NO_THREAD_SAFETY_ANALYSIS {
   if (to_run.empty()) return;
   // The demanded block is demand-driven work even when a pool worker
   // runs it (the reader is about to block on it); only the lookahead
@@ -288,7 +294,7 @@ void DecodeSession::dispatch(std::unique_lock<std::mutex>& lock,
 
 void DecodeSession::fetch_into(std::uint64_t block, std::size_t begin,
                                std::size_t len, std::uint8_t* out) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::uint64_t> to_run;
   schedule_locked(block, to_run);
   const bool scheduled_here =
@@ -341,11 +347,14 @@ void DecodeSession::fetch_into(std::uint64_t block, std::size_t begin,
           // not yet past their decrement). The retry is deferred, not
           // skipped: wait for the last of them to drop the slot instead
           // of rethrowing an error this reader never observed.
-          ready_cv_.wait(lock, [&] {
+          while (true) {
             const auto cur = slots_.find(block);
-            return cur == slots_.end() || cur->second != slot ||
-                   slot->waiters == 0;
-          });
+            if (cur == slots_.end() || cur->second != slot ||
+                slot->waiters == 0) {
+              break;
+            }
+            ready_cv_.wait(mutex_);
+          }
           continue;
         }
         slots_.erase(block);
@@ -372,7 +381,7 @@ void DecodeSession::fetch_into(std::uint64_t block, std::size_t begin,
     }
     ++slot->waiters;
     bump(counters_.decode_waits, serve_obs().decode_waits);
-    ready_cv_.wait(lock, [&] { return slot->state != Slot::State::kScheduled; });
+    while (slot->state == Slot::State::kScheduled) ready_cv_.wait(mutex_);
     --slot->waiters;
     first_look = false;
   }
@@ -413,7 +422,7 @@ void DecodeSession::decode_task(std::uint64_t block) {
       push_context(std::move(ctx));
       comp.reset();  // return the staging buffer before publishing
 
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       health_[static_cast<std::size_t>(block)] = BlockHealth::kGood;
       damage_.erase(block);
       Slot& slot = *slots_.at(block);
@@ -461,7 +470,7 @@ void DecodeSession::decode_task(std::uint64_t block) {
       }
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (kind == ErrorKind::kCorruption || kind == ErrorKind::kFormat) {
       bump(counters_.permanent_errors, serve_obs().permanent_errors);
       health_[static_cast<std::size_t>(block)] = BlockHealth::kDamaged;
@@ -502,7 +511,7 @@ void DecodeSession::evict_excess_locked() {
 }
 
 std::unique_ptr<core::BlockDecodeContext> DecodeSession::pop_context() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (free_contexts_.empty()) return std::make_unique<core::BlockDecodeContext>();
   auto ctx = std::move(free_contexts_.back());
   free_contexts_.pop_back();
@@ -510,7 +519,7 @@ std::unique_ptr<core::BlockDecodeContext> DecodeSession::pop_context() {
 }
 
 void DecodeSession::push_context(std::unique_ptr<core::BlockDecodeContext> ctx) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   free_contexts_.push_back(std::move(ctx));
 }
 

@@ -27,11 +27,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +38,7 @@
 #include "serve/byte_source.hpp"
 #include "serve/seek_index.hpp"
 #include "util/buffer_pool.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gompresso::serve {
@@ -162,7 +161,7 @@ class DecodeSession {
   /// Sequential read at the session cursor; advances it. Returns the
   /// number of bytes produced — short only at end of data, 0 at or past
   /// the end. Prefetches the upcoming window.
-  std::size_t read(MutableByteSpan dst);
+  std::size_t read(MutableByteSpan dst) EXCLUDES(cursor_mutex_);
 
   /// Positional read, cursor untouched; same return convention. Decoded
   /// blocks stay in the LRU, so re-reads of warm ranges do not decode.
@@ -188,12 +187,12 @@ class DecodeSession {
 
   /// Decode health of block `b`, as observed so far (kUnknown until a
   /// read or scan touches the block).
-  BlockHealth block_health(std::size_t b) const;
+  BlockHealth block_health(std::size_t b) const EXCLUDES(mutex_);
 
   /// Moves the sequential cursor. Offsets past the end are allowed;
   /// subsequent read() calls return 0 there.
-  void seek(std::uint64_t offset);
-  std::uint64_t tell() const;
+  void seek(std::uint64_t offset) EXCLUDES(cursor_mutex_);
+  std::uint64_t tell() const EXCLUDES(cursor_mutex_);
 
   const SeekIndex& index() const { return index_; }
 
@@ -253,17 +252,23 @@ class DecodeSession {
 
   void init();
   void backoff_sleep(std::uint64_t us);
-  std::size_t read_impl(std::uint64_t offset, MutableByteSpan dst);
+  std::size_t read_impl(std::uint64_t offset, MutableByteSpan dst)
+      EXCLUDES(mutex_);
   void fetch_into(std::uint64_t block, std::size_t begin, std::size_t len,
-                  std::uint8_t* out);
-  void schedule_locked(std::uint64_t first, std::vector<std::uint64_t>& to_run);
-  void dispatch(std::unique_lock<std::mutex>& lock,
-                const std::vector<std::uint64_t>& to_run,
-                std::uint64_t demanded);
-  void decode_task(std::uint64_t block);
-  void evict_excess_locked();
-  std::unique_ptr<core::BlockDecodeContext> pop_context();
-  void push_context(std::unique_ptr<core::BlockDecodeContext> ctx);
+                  std::uint8_t* out) EXCLUDES(mutex_);
+  void schedule_locked(std::uint64_t first, std::vector<std::uint64_t>& to_run)
+      REQUIRES(mutex_);
+  // Drops and reacquires `lock` (which guards mutex_) around the task
+  // submissions. The analysis cannot follow a capability through a
+  // reference parameter, so the definition opts out; callers are still
+  // checked against the REQUIRES.
+  void dispatch(util::MutexLock& lock, const std::vector<std::uint64_t>& to_run,
+                std::uint64_t demanded) REQUIRES(mutex_);
+  void decode_task(std::uint64_t block) EXCLUDES(mutex_);
+  void evict_excess_locked() REQUIRES(mutex_);
+  std::unique_ptr<core::BlockDecodeContext> pop_context() EXCLUDES(mutex_);
+  void push_context(std::unique_ptr<core::BlockDecodeContext> ctx)
+      EXCLUDES(mutex_);
 
   std::unique_ptr<ByteSource> source_;
   SeekIndex index_;
@@ -280,19 +285,22 @@ class DecodeSession {
 
   /// Serializes the sequential cursor (read/seek/tell). Always acquired
   /// before mutex_, never while holding it.
-  mutable std::mutex cursor_mutex_;
+  mutable util::Mutex cursor_mutex_ ACQUIRED_BEFORE(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_cv_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> slots_;
-  std::list<std::uint64_t> lru_;  // ready blocks, most recent first
-  std::size_t inflight_ = 0;      // slots in kScheduled state
-  std::size_t ready_count_ = 0;   // slots in kReady state
-  std::uint64_t cursor_ = 0;
+  mutable util::Mutex mutex_;
+  util::CondVar ready_cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> slots_
+      GUARDED_BY(mutex_);
+  std::list<std::uint64_t> lru_ GUARDED_BY(mutex_);  // ready, most recent first
+  std::size_t inflight_ GUARDED_BY(mutex_) = 0;     // slots in kScheduled state
+  std::size_t ready_count_ GUARDED_BY(mutex_) = 0;  // slots in kReady state
+  std::uint64_t cursor_ GUARDED_BY(cursor_mutex_) = 0;
   AtomicCounters counters_;
-  std::vector<BlockHealth> health_;  // per block, guarded by mutex_
-  std::unordered_map<std::uint64_t, BlockDamage> damage_;  // kDamaged blocks
-  std::vector<std::unique_ptr<core::BlockDecodeContext>> free_contexts_;
+  std::vector<BlockHealth> health_ GUARDED_BY(mutex_);  // per block
+  std::unordered_map<std::uint64_t, BlockDamage> damage_
+      GUARDED_BY(mutex_);  // kDamaged blocks
+  std::vector<std::unique_ptr<core::BlockDecodeContext>> free_contexts_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace gompresso::serve

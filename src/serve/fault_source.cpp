@@ -135,7 +135,7 @@ FaultInjectingByteSource::FaultInjectingByteSource(
 }
 
 void FaultInjectingByteSource::inject(FaultSpec fault) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   plan_.faults.push_back(fault);
 }
 
@@ -144,7 +144,7 @@ void FaultInjectingByteSource::set_random_transients(double rate,
                                                      std::uint64_t seed) {
   check(rate >= 0.0 && rate <= 1.0, "fault source: rate must be in [0, 1]");
   check(burst > 0, "fault source: burst must be positive");
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   plan_.transient_rate = rate;
   plan_.transient_burst = burst;
   plan_.seed = seed;
@@ -154,7 +154,7 @@ void FaultInjectingByteSource::set_random_transients(double rate,
 }
 
 void FaultInjectingByteSource::clear_faults() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   plan_.faults.clear();
   plan_.transient_rate = 0.0;
   plan_.latency_us = 0;
@@ -163,7 +163,7 @@ void FaultInjectingByteSource::clear_faults() {
 }
 
 FaultStats FaultInjectingByteSource::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -173,7 +173,7 @@ void FaultInjectingByteSource::read_at(std::uint64_t offset, MutableByteSpan dst
   std::uint64_t delay = 0;
   std::vector<CorruptionOp> ops;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++stats_.reads;
     delay = plan_.latency_us;
     for (FaultSpec& f : plan_.faults) {

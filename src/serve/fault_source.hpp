@@ -14,7 +14,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,6 +21,7 @@
 
 #include "serve/byte_source.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gompresso::serve {
 
@@ -133,26 +133,29 @@ class FaultInjectingByteSource final : public ByteSource {
                                     FaultPlan plan = {});
 
   std::uint64_t size() const override { return inner_->size(); }
-  void read_at(std::uint64_t offset, MutableByteSpan dst) override;
+  void read_at(std::uint64_t offset, MutableByteSpan dst) override EXCLUDES(mutex_);
 
   /// Arms another fault on a live source (e.g. after the session's
   /// index scan, so open succeeds and only block reads fault).
-  void inject(FaultSpec fault);
+  void inject(FaultSpec fault) EXCLUDES(mutex_);
   /// Arms (or re-seeds) the random transient plan on a live source.
-  void set_random_transients(double rate, std::uint64_t burst, std::uint64_t seed);
+  void set_random_transients(double rate, std::uint64_t burst, std::uint64_t seed)
+      EXCLUDES(mutex_);
   /// Disarms every scripted fault and the random plan.
-  void clear_faults();
+  void clear_faults() EXCLUDES(mutex_);
 
-  FaultStats stats() const;
+  FaultStats stats() const EXCLUDES(mutex_);
 
  private:
   std::unique_ptr<ByteSource> inner_;
-  mutable std::mutex mutex_;
-  FaultPlan plan_;  // counts mutate as faults fire
-  Rng rng_;
-  std::unordered_map<std::uint64_t, std::uint64_t> armed_;  // offset -> fails left
-  std::unordered_set<std::uint64_t> cleared_;  // offsets done failing (immune)
-  FaultStats stats_;
+  mutable util::Mutex mutex_;
+  FaultPlan plan_ GUARDED_BY(mutex_);  // counts mutate as faults fire
+  Rng rng_ GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::uint64_t> armed_
+      GUARDED_BY(mutex_);  // offset -> fails left
+  std::unordered_set<std::uint64_t> cleared_
+      GUARDED_BY(mutex_);  // offsets done failing (immune)
+  FaultStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace gompresso::serve

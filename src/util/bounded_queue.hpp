@@ -5,11 +5,10 @@
 // work faster than the workers drain it.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 
 #include "util/common.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gompresso::util {
 
@@ -22,9 +21,9 @@ class BoundedQueue {
 
   /// Blocks until there is room (backpressure), then enqueues `v`.
   /// Returns false — dropping `v` — when the queue has been closed.
-  bool push(T v) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+  bool push(T v) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(mutex_);
     if (closed_) return false;
     items_.push_back(std::move(v));
     lock.unlock();
@@ -34,9 +33,9 @@ class BoundedQueue {
 
   /// Blocks until an item is available or the queue is closed and
   /// drained; returns false in the latter case.
-  bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  bool pop(T& out) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.wait(mutex_);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -46,8 +45,8 @@ class BoundedQueue {
   }
 
   /// Non-blocking pop; false when the queue is currently empty.
-  bool try_pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  bool try_pop(T& out) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -58,39 +57,39 @@ class BoundedQueue {
 
   /// Wakes all blocked producers and consumers; subsequent push() calls
   /// are rejected. Items already queued can still be popped.
-  void close() {
+  void close() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  bool empty() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool empty() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.empty();
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  const std::size_t capacity_;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gompresso::util

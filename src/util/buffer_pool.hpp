@@ -8,11 +8,11 @@
 // bench_serve asserts exactly that.
 #pragma once
 
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gompresso::util {
 
@@ -70,11 +70,11 @@ class BufferPool {
   };
 
   /// Leases a buffer resized to exactly `size` bytes (contents undefined).
-  PooledBuffer acquire(std::size_t size) {
+  PooledBuffer acquire(std::size_t size) EXCLUDES(mutex_) {
     Bytes buf;
     bool reused_capacity = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!free_.empty()) {
         // Prefer the smallest free buffer that already fits; otherwise
         // grow the largest one (keeps capacities converging instead of
@@ -95,7 +95,7 @@ class BufferPool {
       }
     }
     buf.resize(size);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.acquires;
     if (reused_capacity) {
       ++stats_.reuses;
@@ -110,14 +110,14 @@ class BufferPool {
     return PooledBuffer(this, std::move(buf));
   }
 
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return stats_;
   }
 
   /// Drops all free-list capacity (leased buffers are unaffected).
-  void trim() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void trim() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     free_.clear();
     free_.shrink_to_fit();
   }
@@ -125,16 +125,16 @@ class BufferPool {
  private:
   friend class PooledBuffer;
 
-  void release(Bytes&& buf) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void release(Bytes&& buf) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     --stats_.outstanding;
     stats_.outstanding_bytes -= buf.capacity();
     free_.push_back(std::move(buf));
   }
 
-  mutable std::mutex mutex_;
-  std::vector<Bytes> free_;
-  Stats stats_;
+  mutable Mutex mutex_;
+  std::vector<Bytes> free_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 inline void PooledBuffer::reset() {

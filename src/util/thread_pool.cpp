@@ -64,7 +64,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) : tasks_(kTaskQueueCapacity) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -92,9 +92,11 @@ void ThreadPool::run_job(Job& job, std::size_t worker_index) const {
     try {
       (*job.fn)(worker_index, i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.error_mutex);
+      util::MutexLock lock(job.error_mutex);
       if (!job.error) job.error = std::current_exception();
     }
+    // publishes: fn(i)'s side effects for index i; pairs-with the
+    // acquire load in run()'s done-count wait loop.
     job.done.fetch_add(1, std::memory_order_release);
   }
   pool_obs().workers_busy.add(-1);
@@ -107,15 +109,16 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   while (true) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       // Waking for a submitted task relies on submit() notifying cv_
       // under mutex_ after the push: either this worker is already
       // waiting (and receives the notify) or it re-evaluates the
-      // predicate on entry and sees the non-empty queue.
-      cv_.wait(lock, [&] {
-        return stop_ || (current_ != nullptr && generation_ != served_generation) ||
-               !tasks_.empty();
-      });
+      // condition on wake and sees the non-empty queue.
+      while (!stop_ &&
+             !(current_ != nullptr && generation_ != served_generation) &&
+             tasks_.empty()) {
+        cv_.wait(mutex_);
+      }
       if (stop_) return;  // still-queued tasks drain in the destructor
       if (current_ != nullptr && generation_ != served_generation) {
         served_generation = generation_;
@@ -131,7 +134,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       // without the bracket the last notify could fire in the gap
       // between the caller's predicate check and its block, hanging
       // parallel_for.
-      { std::lock_guard<std::mutex> lock(mutex_); }
+      { util::MutexLock lock(mutex_); }
       done_cv_.notify_all();
     }
     std::function<void()> task;
@@ -155,7 +158,7 @@ void ThreadPool::submit(std::function<void()> fn) {
   pool_obs().queue_depth.add(1);
   tasks_.push(std::move(fn));  // blocks at capacity (backpressure)
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
   }
   // One task needs one worker; notify_all here would thundering-herd
   // every idle worker per submitted block on the serve hot path.
@@ -181,20 +184,28 @@ void ThreadPool::run(std::size_t count,
   job->fn = &fn;
   job->count = count;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     current_ = job;
     ++generation_;
   }
   cv_.notify_all();
   run_job(*job, 0);  // caller participates via the same common queue
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&job] {
-      return job->done.load(std::memory_order_acquire) >= job->count;
-    });
+    util::MutexLock lock(mutex_);
+    // pairs-with: the release fetch_add in run_job's per-index done
+    // count — once done covers count, every index's side effects are
+    // visible to this thread.
+    while (job->done.load(std::memory_order_acquire) < job->count) {
+      done_cv_.wait(mutex_);
+    }
     current_.reset();
   }
-  if (job->error) std::rethrow_exception(job->error);
+  std::exception_ptr error;
+  {
+    util::MutexLock lock(job->error_mutex);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(std::size_t count,

@@ -28,16 +28,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/bounded_queue.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gompresso {
 
@@ -103,21 +102,22 @@ class ThreadPool {
     std::size_t count = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    util::Mutex error_mutex;
+    std::exception_ptr error GUARDED_BY(error_mutex);
   };
 
-  void run(std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn);
-  void worker_loop(std::size_t worker_index);
-  void run_job(Job& job, std::size_t worker_index) const;
+  void run(std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn)
+      EXCLUDES(mutex_);
+  void worker_loop(std::size_t worker_index) EXCLUDES(mutex_);
+  void run_job(Job& job, std::size_t worker_index) const EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  std::shared_ptr<Job> current_;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  util::CondVar done_cv_;
+  std::shared_ptr<Job> current_ GUARDED_BY(mutex_);
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
   util::BoundedQueue<std::function<void()>> tasks_;
 };
 
