@@ -9,6 +9,9 @@
 //   gomp index <input> [sidecar]         write the seek-index sidecar
 //   gomp verify [options] <input>        scrub every block, report health
 //   gomp stats [options] <input>         read the archive, dump metrics
+//   gomp serve [options] <input>         HTTP range-request daemon (see
+//                                        src/net/server.hpp for the
+//                                        robustness contract)
 //
 // Compression options:
 //   --byte            use Gompresso/Byte (default: Gompresso/Bit)
@@ -41,6 +44,8 @@
 // cat/range accept GMPZ containers and GMPS streams alike; with no
 // output path the bytes go to stdout and the stats to stderr.
 #include <cctype>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -49,15 +54,33 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/gompresso.hpp"
+#include "net/server.hpp"
 #include "serve/fault_source.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
 
 using namespace gompresso;
+
+/// Set by SIGINT/SIGTERM. The long-running verbs (cat, verify, serve)
+/// poll it between units of work so an interrupt still finishes the
+/// TraceGuard and flushes partial output instead of dying mid-write.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_signal(int) { g_interrupted = 1; }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+}
+
+/// 128 + SIGINT, the shell convention for "killed by ^C" — scripts see
+/// the interruption, but only after the partial stats and trace landed.
+constexpr int kExitInterrupted = 130;
 
 Bytes read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -92,7 +115,10 @@ int usage() {
                "       gomp range [session opts] <input> <offset> <len> [<output>]\n"
                "       gomp index <input> [<sidecar>]\n"
                "       gomp verify [session opts] <input>\n"
-               "       gomp stats [session opts] [--json] <input>\n");
+               "       gomp stats [session opts] [--json] <input>\n"
+               "       gomp serve [session opts] [--port N] [--workers N]\n"
+               "                  [--max-conns N] [--pending N] [--deadline-ms N]\n"
+               "                  [--budget-mb N] [--degraded] <input>\n");
   return 2;
 }
 
@@ -243,6 +269,7 @@ int cmd_cat(int argc, char** argv) {
   }
   if (positional.empty() || positional.size() > 2) return usage();
 
+  install_signal_handlers();
   TraceGuard trace(trace_path);
   auto session = open_session(positional[0], index_path, fault_spec, opt);
   std::FILE* out = positional.size() == 2
@@ -255,7 +282,7 @@ int cmd_cat(int argc, char** argv) {
   serve::DamageReport damage;
   std::uint64_t total = 0;
   std::size_t n;
-  while (true) {
+  while (g_interrupted == 0) {
     const MutableByteSpan dst(chunk.data(), chunk.size());
     n = best_effort ? session->read_at_damage_tolerant(total, dst, &damage)
                     : session->read(dst);
@@ -265,6 +292,10 @@ int cmd_cat(int argc, char** argv) {
   }
   const double seconds = timer.seconds();
   if (out != stdout) std::fclose(out);
+  if (g_interrupted != 0) {
+    std::fprintf(stderr, "gomp cat: interrupted, %llu bytes written\n",
+                 static_cast<unsigned long long>(total));
+  }
   print_session_stats(*session, total, seconds);
   session.reset();  // join in-flight prefetch before writing the trace
   trace.finish();
@@ -275,6 +306,7 @@ int cmd_cat(int argc, char** argv) {
                  static_cast<unsigned long long>(e.offset + e.length),
                  e.message.c_str());
   }
+  if (g_interrupted != 0) return kExitInterrupted;
   return damage.clean() ? 0 : 1;
 }
 
@@ -288,28 +320,142 @@ int cmd_verify(int argc, char** argv) {
   }
   if (positional.size() != 1) return usage();
 
+  install_signal_handlers();
   TraceGuard trace(trace_path);
   auto session = open_session(positional[0], index_path, fault_spec, opt);
   Stopwatch timer;
-  const serve::DamageReport damage = session->verify_archive();
+  // Block-by-block scrub (same semantics as verify_archive, which
+  // decodes every block damage-tolerantly) so an interrupt lands between
+  // blocks: the partial report and the trace still flush.
+  serve::DamageReport damage;
+  const std::size_t blocks = session->index().num_blocks();
+  std::size_t scanned = 0;
+  Bytes block_buf;
+  for (std::size_t b = 0; b < blocks && g_interrupted == 0; ++b) {
+    const serve::BlockEntry& e = session->index().block(b);
+    block_buf.resize(e.uncomp_size);
+    session->read_at_damage_tolerant(
+        e.uncomp_offset, MutableByteSpan(block_buf.data(), block_buf.size()),
+        &damage);
+    ++scanned;
+  }
   const double seconds = timer.seconds();
 
-  const std::size_t blocks = session->index().num_blocks();
   std::size_t damaged_blocks = 0;
   for (std::size_t b = 0; b < blocks; ++b) {
     if (session->block_health(b) == serve::BlockHealth::kDamaged) ++damaged_blocks;
   }
   session.reset();
   trace.finish();
-  std::printf("%s: %zu blocks scanned in %.3fs, %zu damaged\n",
-              positional[0].c_str(), blocks, seconds, damaged_blocks);
+  std::printf("%s: %zu/%zu blocks scanned in %.3fs, %zu damaged%s\n",
+              positional[0].c_str(), scanned, blocks, seconds, damaged_blocks,
+              g_interrupted != 0 ? " (interrupted)" : "");
   for (const serve::DamagedExtent& e : damage.extents) {
     std::printf("  block %zu: bytes %llu..%llu unrecoverable (%s)\n", e.block,
                 static_cast<unsigned long long>(e.offset),
                 static_cast<unsigned long long>(e.offset + e.length),
                 e.message.c_str());
   }
+  if (g_interrupted != 0) return kExitInterrupted;
   return damage.clean() ? 0 : 1;
+}
+
+/// `gomp serve`: the range-request daemon. Loops until SIGINT/SIGTERM,
+/// then drains gracefully (finish or shed in-flight requests, flush
+/// metrics + trace, deterministic exit 0).
+int cmd_serve(int argc, char** argv) {
+  serve::SessionOptions sopt;
+  std::string index_path, fault_spec, trace_path;
+  std::vector<std::string> positional;
+  net::ServeOptions opt;
+  // Strip the serve-plane flags, then reuse the shared session parser
+  // (which rejects unknown flags) for the rest.
+  std::vector<char*> rest;
+  std::uint64_t v = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], 65535, v)) return usage();
+      opt.port = static_cast<std::uint16_t>(v);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], 256, v) || v == 0) return usage();
+      opt.worker_threads = static_cast<std::size_t>(v);
+    } else if (arg == "--max-conns" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], 65536, v) || v == 0) return usage();
+      opt.max_connections = static_cast<std::size_t>(v);
+    } else if (arg == "--pending" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], 65536, v) || v == 0) return usage();
+      opt.pending_requests = static_cast<std::size_t>(v);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], 3600'000, v)) return usage();
+      opt.request_deadline_ms = static_cast<int>(v);
+    } else if (arg == "--budget-mb" && i + 1 < argc) {
+      if (!parse_u64(argv[++i], 1u << 20, v) || v == 0) return usage();
+      opt.queued_bytes_budget = v << 20;
+    } else if (arg == "--degraded") {
+      opt.degraded = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (!parse_session_args(static_cast<int>(rest.size()), rest.data(), sopt,
+                          index_path, fault_spec, trace_path, positional)) {
+    return usage();
+  }
+  if (positional.size() != 1) return usage();
+  const std::string path = positional[0];
+
+  install_signal_handlers();
+  TraceGuard trace(trace_path);
+
+  // The index always comes from a clean scan (or a sidecar): faults are
+  // a data-plane concern, and a daemon that cannot trust its geometry
+  // should not start.
+  serve::SeekIndex index =
+      index_path.empty() ? serve::SeekIndex::build(*serve::open_file_source(path))
+                         : serve::SeekIndex::load(index_path);
+  net::SourceFactory factory =
+      [path, fault_spec]() -> std::unique_ptr<serve::ByteSource> {
+    std::unique_ptr<serve::ByteSource> src = serve::open_file_source(path);
+    if (!fault_spec.empty()) {
+      src = std::make_unique<serve::FaultInjectingByteSource>(
+          std::move(src), serve::FaultPlan::parse(fault_spec));
+    }
+    return src;
+  };
+  opt.session = sopt;
+
+  net::Server server(std::move(factory), std::move(index), opt);
+  server.start();
+  // Parseable by the CI smoke job and the signal tests: port first.
+  std::printf("gomp serve: listening on 127.0.0.1:%u (%llu bytes, %s)\n",
+              static_cast<unsigned>(server.port()),
+              static_cast<unsigned long long>(server.archive_size()),
+              path.c_str());
+  std::fflush(stdout);
+
+  while (g_interrupted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "gomp serve: draining...\n");
+  server.stop();
+  const net::ServerStats st = server.stats();
+  std::fprintf(
+      stderr,
+      "gomp serve: %llu requests (%llu 200, %llu 206, %llu 4xx, %llu shed, "
+      "%llu 502), %llu conns (%llu shed), %.1f MiB sent, peak queued %.1f "
+      "MiB\n",
+      static_cast<unsigned long long>(st.requests),
+      static_cast<unsigned long long>(st.ok_200),
+      static_cast<unsigned long long>(st.partial_206),
+      static_cast<unsigned long long>(st.client_4xx),
+      static_cast<unsigned long long>(st.shed_503),
+      static_cast<unsigned long long>(st.failed_502),
+      static_cast<unsigned long long>(st.accepted),
+      static_cast<unsigned long long>(st.shed_connections),
+      st.bytes_sent / 1048576.0, st.peak_queued_bytes / 1048576.0);
+  trace.finish();
+  return 0;
 }
 
 int cmd_range(int argc, char** argv) {
@@ -625,6 +771,7 @@ int main(int argc, char** argv) {
     if (cmd == "index") return cmd_index(argc - 2, argv + 2);
     if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);
     if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
   } catch (const gompresso::Error& e) {
     std::fprintf(stderr, "gomp: %s\n", e.what());
     return 1;

@@ -1,0 +1,264 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gompresso::net {
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Strict decimal parse for range bounds — rejects empty, signs, and
+/// non-digits; saturation-free (overflow returns false).
+bool parse_dec(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [n, v] : headers) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::wants_close() const {
+  const std::string* conn = header("connection");
+  if (conn != nullptr) {
+    const std::string v = lower(*conn);
+    if (v.find("close") != std::string::npos) return true;
+    if (v.find("keep-alive") != std::string::npos) return false;
+  }
+  return version == "HTTP/1.0";  // 1.0 defaults to close
+}
+
+std::size_t find_head_end(std::string_view buf) {
+  const std::size_t pos = buf.find("\r\n\r\n");
+  return pos == std::string_view::npos ? std::string::npos : pos + 4;
+}
+
+bool parse_request_head(std::string_view head, HttpRequest& out) {
+  out = HttpRequest{};
+  std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) return false;
+  const std::string_view request_line = head.substr(0, line_end);
+
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  out.method = std::string(request_line.substr(0, sp1));
+  out.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out.version = std::string(trim(request_line.substr(sp2 + 1)));
+  if (out.version.rfind("HTTP/", 0) != 0) return false;
+
+  std::size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    line_end = head.find("\r\n", pos);
+    if (line_end == std::string_view::npos) return false;
+    const std::string_view line = head.substr(pos, line_end - pos);
+    pos = line_end + 2;
+    if (line.empty()) break;  // end of headers
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    out.headers.emplace_back(lower(trim(line.substr(0, colon))),
+                             std::string(trim(line.substr(colon + 1))));
+  }
+  return true;
+}
+
+RangeStatus parse_range(std::string_view value, std::uint64_t size,
+                        std::uint64_t& first, std::uint64_t& last) {
+  value = trim(value);
+  if (value.rfind("bytes=", 0) != 0) return RangeStatus::kNone;
+  std::string_view spec = trim(value.substr(6));
+  // Multi-range ("a-b,c-d") is out of scope: ignore it (200 full body)
+  // rather than half-implementing multipart/byteranges.
+  if (spec.find(',') != std::string_view::npos) return RangeStatus::kNone;
+  const std::size_t dash = spec.find('-');
+  if (dash == std::string_view::npos) return RangeStatus::kNone;
+  const std::string_view a = trim(spec.substr(0, dash));
+  const std::string_view b = trim(spec.substr(dash + 1));
+
+  if (a.empty()) {
+    // bytes=-N: the final N bytes.
+    std::uint64_t n = 0;
+    if (!parse_dec(b, n)) return RangeStatus::kNone;
+    if (n == 0 || size == 0) return RangeStatus::kUnsatisfiable;
+    first = n >= size ? 0 : size - n;
+    last = size - 1;
+    return RangeStatus::kSingle;
+  }
+
+  std::uint64_t lo = 0;
+  if (!parse_dec(a, lo)) return RangeStatus::kNone;
+  if (lo >= size) return RangeStatus::kUnsatisfiable;
+  if (b.empty()) {
+    first = lo;
+    last = size - 1;
+    return RangeStatus::kSingle;
+  }
+  std::uint64_t hi = 0;
+  if (!parse_dec(b, hi) || hi < lo) return RangeStatus::kNone;
+  first = lo;
+  last = std::min(hi, size - 1);
+  return RangeStatus::kSingle;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 206: return "Partial Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 416: return "Range Not Satisfiable";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string response_head(int status, std::uint64_t content_length,
+                          bool keep_alive,
+                          const std::vector<std::string>& extra) {
+  std::string head = "HTTP/1.1 ";
+  head += std::to_string(status);
+  head += ' ';
+  head += status_text(status);
+  head += "\r\nContent-Length: ";
+  head += std::to_string(content_length);
+  head += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+  for (const std::string& line : extra) {
+    head += "\r\n";
+    head += line;
+  }
+  head += "\r\n\r\n";
+  return head;
+}
+
+// ---------------------------------------------------------------------
+
+const std::string* HttpResponse::header(std::string_view name) const {
+  for (const auto& [n, v] : headers) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::uint16_t port, int timeout_ms)
+    : fd_(util::connect_loopback(port, timeout_ms)), timeout_ms_(timeout_ms) {}
+
+bool HttpClient::get(const std::string& target,
+                     const std::vector<std::string>& extra, HttpResponse& out) {
+  check_io(fd_.valid(), "net: client connection already closed");
+  std::string req = "GET ";
+  req += target;
+  req += " HTTP/1.1\r\nHost: 127.0.0.1";
+  for (const std::string& line : extra) {
+    req += "\r\n";
+    req += line;
+  }
+  req += "\r\n\r\n";
+  try {
+    util::send_all(fd_.get(), as_bytes(req), timeout_ms_);
+  } catch (const IoError&) {
+    // The server closed (drain) or reset before we finished writing.
+    fd_.reset();
+    return false;
+  }
+
+  // Read until the response head is complete.
+  std::size_t head_end;
+  std::uint8_t chunk[4096];
+  while ((head_end = find_head_end(buf_)) == std::string::npos) {
+    check_io(util::wait_readable(fd_.get(), timeout_ms_),
+             "net: response timed out");
+    const std::ptrdiff_t n =
+        util::recv_some(fd_.get(), MutableByteSpan(chunk, sizeof chunk));
+    if (n == 0) {
+      fd_.reset();
+      return false;  // closed without a (complete) response
+    }
+    if (n > 0) buf_.append(reinterpret_cast<const char*>(chunk),
+                           static_cast<std::size_t>(n));
+  }
+
+  // Parse the status line + headers by reusing the request parser's
+  // header loop shape (the status line differs).
+  const std::string_view head(buf_.data(), head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view status_line = head.substr(0, line_end);
+  check_io(status_line.rfind("HTTP/", 0) == 0, "net: malformed status line");
+  const std::size_t sp = status_line.find(' ');
+  check_io(sp != std::string_view::npos && sp + 4 <= status_line.size(),
+           "net: malformed status line");
+  std::uint64_t code = 0;
+  check_io(parse_dec(trim(status_line.substr(sp + 1, 3)), code),
+           "net: malformed status code");
+  out = HttpResponse{};
+  out.status = static_cast<int>(code);
+
+  std::size_t pos = line_end + 2;
+  std::uint64_t content_length = 0;
+  while (pos < head_end) {
+    const std::size_t he = head.find("\r\n", pos);
+    const std::string_view line = head.substr(pos, he - pos);
+    pos = he + 2;
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    check_io(colon != std::string_view::npos, "net: malformed response header");
+    std::string name = lower(trim(line.substr(0, colon)));
+    std::string val(trim(line.substr(colon + 1)));
+    if (name == "content-length") {
+      check_io(parse_dec(val, content_length), "net: bad content-length");
+    }
+    out.headers.emplace_back(std::move(name), std::move(val));
+  }
+
+  buf_.erase(0, head_end);
+  while (buf_.size() < content_length) {
+    check_io(util::wait_readable(fd_.get(), timeout_ms_),
+             "net: response body timed out");
+    const std::ptrdiff_t n =
+        util::recv_some(fd_.get(), MutableByteSpan(chunk, sizeof chunk));
+    check_io(n != 0, "net: connection closed mid-body");
+    if (n > 0) buf_.append(reinterpret_cast<const char*>(chunk),
+                           static_cast<std::size_t>(n));
+  }
+  out.body = buf_.substr(0, static_cast<std::size_t>(content_length));
+  buf_.erase(0, static_cast<std::size_t>(content_length));
+
+  const std::string* conn = out.header("connection");
+  if (conn != nullptr && lower(*conn).find("close") != std::string::npos) {
+    fd_.reset();
+  }
+  return true;
+}
+
+}  // namespace gompresso::net

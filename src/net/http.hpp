@@ -1,0 +1,105 @@
+// Minimal HTTP/1.1 surface for the range-request daemon: request-head
+// parsing, single byte-range parsing (RFC 7233), response-head
+// serialization, and a small blocking client for tests and the load
+// harness. Dependency-free by design — the daemon's robustness story is
+// only auditable if every parsing decision is in this repository.
+//
+// Scope: GET/HEAD requests with no body, one optional `Range: bytes=`
+// header, Connection keep-alive/close. Anything outside that scope is
+// rejected with a 4xx by the server, never undefined behavior — the
+// parser is exercised by the chaos soak with adversarial bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/socket.hpp"
+
+namespace gompresso::net {
+
+/// Hard cap on a request head (request line + headers + CRLFCRLF). A
+/// peer that streams an unbounded header section is shed at this bound
+/// with 431 — admission control starts at the first byte read.
+inline constexpr std::size_t kMaxRequestHeadBytes = 8192;
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;  // "HTTP/1.1"
+  /// Header names are lower-cased at parse time; values are trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First header value by lower-case name, or nullptr.
+  const std::string* header(std::string_view name) const;
+  /// True when the client asked for (or implies) connection close.
+  bool wants_close() const;
+};
+
+/// Offset of the byte AFTER the "\r\n\r\n" head terminator, or
+/// std::string::npos while the head is still incomplete.
+std::size_t find_head_end(std::string_view buf);
+
+/// Parses a complete request head (terminator included). Returns false
+/// on malformed input; `out` is unspecified then.
+bool parse_request_head(std::string_view head, HttpRequest& out);
+
+enum class RangeStatus : std::uint8_t {
+  kNone,           // no Range header, or a form we ignore (serve 200)
+  kSingle,         // one satisfiable range: serve 206 [first, last]
+  kUnsatisfiable,  // syntactically valid but outside the resource: 416
+};
+
+/// Parses a `Range:` header value against a resource of `size` bytes.
+/// Supports the single-range forms bytes=A-B, bytes=A-, bytes=-N.
+/// Multi-range and malformed values are ignored (kNone) per RFC 7233's
+/// "MAY ignore"; an empty resource never satisfies a range.
+RangeStatus parse_range(std::string_view value, std::uint64_t size,
+                        std::uint64_t& first, std::uint64_t& last);
+
+const char* status_text(int status);
+
+/// Serializes a response head with Content-Length and Connection
+/// headers; `extra` entries are complete "Name: value" lines (no CRLF).
+std::string response_head(int status, std::uint64_t content_length,
+                          bool keep_alive,
+                          const std::vector<std::string>& extra = {});
+
+// ---------------------------------------------------------------------
+// Blocking client (tests / bench load harness / smoke probes).
+
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // lower-case names
+  std::string body;
+
+  const std::string* header(std::string_view name) const;
+};
+
+/// One keep-alive connection to 127.0.0.1:`port`. Not thread-safe: the
+/// load harness gives each simulated client its own instance.
+class HttpClient {
+ public:
+  explicit HttpClient(std::uint16_t port, int timeout_ms = 5000);
+
+  /// Issues `GET target` (plus `extra` header lines) and reads the full
+  /// response. Returns false when the server closed the connection
+  /// without a response (drain/shed-by-close); throws IoError on
+  /// timeout or a malformed response.
+  bool get(const std::string& target, const std::vector<std::string>& extra,
+           HttpResponse& out);
+
+  /// False once the server closed the connection (a new client must be
+  /// constructed to reconnect — deliberate, so the harness counts
+  /// reconnects).
+  bool alive() const { return fd_.valid(); }
+
+ private:
+  util::Fd fd_;
+  int timeout_ms_;
+  std::string buf_;  // bytes read past the previous response
+};
+
+}  // namespace gompresso::net

@@ -23,7 +23,8 @@ const char* kind_name(MetricKind k) {
 
 }  // namespace
 
-thread_local Registry::TlsShardRef Registry::tls_shard_;
+thread_local std::uint64_t Registry::tls_registry_id_;
+thread_local std::atomic<std::uint64_t>* Registry::tls_slots_;
 
 Registry::Registry() : id_(g_next_registry_id.fetch_add(1)) {}
 
@@ -37,8 +38,10 @@ std::atomic<std::uint64_t>* Registry::slots_slow() {
     shards_.push_back(std::move(shard));
   }
   // Cache for this thread. A stale entry for a destroyed registry can
-  // never match: ids are process-unique and never reused.
-  tls_shard_ = TlsShardRef{id_, slots};
+  // never match: ids are process-unique and never reused. Publish the
+  // slots pointer before the id: slots_fast() keys on the id.
+  tls_slots_ = slots;
+  tls_registry_id_ = id_;
   return slots;
 }
 

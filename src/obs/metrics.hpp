@@ -215,17 +215,17 @@ class Registry {
     std::uint32_t width;   // shard slots consumed
   };
 
-  /// Thread-local shard cache, keyed by registry id. Inline so the hit
-  /// path (one TLS compare) folds into counter_add's single-add fast
-  /// path under optimization.
-  struct TlsShardRef {
-    std::uint64_t registry_id = 0;
-    std::atomic<std::uint64_t>* slots = nullptr;
-  };
-  static thread_local TlsShardRef tls_shard_;
+  /// Thread-local shard cache, keyed by registry id. Two primitive
+  /// zero-initialized thread_locals (not a struct with initializers):
+  /// constant-initialized TLS needs no per-thread init wrapper, so the
+  /// hit path is a plain TLS load + compare that folds into
+  /// counter_add's single-add fast path under optimization (a wrapped
+  /// dynamic-init TLS also trips UBSan's null-member check at -O1).
+  static thread_local std::uint64_t tls_registry_id_;
+  static thread_local std::atomic<std::uint64_t>* tls_slots_;
 
   std::atomic<std::uint64_t>* slots_fast() {
-    if (tls_shard_.registry_id == id_) return tls_shard_.slots;
+    if (tls_registry_id_ == id_) return tls_slots_;
     return slots_slow();
   }
   // Registers this thread's shard (cold; the only mutex on the path).

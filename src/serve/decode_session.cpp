@@ -56,6 +56,25 @@ void bump(std::atomic<std::uint64_t>& local, const obs::Counter& global,
 
 }  // namespace
 
+std::uint64_t RetryPolicy::jittered_backoff_us(std::size_t attempt,
+                                               std::uint64_t salt) const {
+  const std::uint64_t base = backoff_us(attempt);
+  const double j = std::min(std::max(jitter, 0.0), 1.0);
+  if (j == 0.0 || base == 0) return base;
+  // SplitMix64 finalizer over the (seed, salt, attempt) tuple: a
+  // stateless, replayable draw — no shared RNG state between concurrent
+  // decode tasks, and the same policy always sleeps the same ladder.
+  std::uint64_t z = jitter_seed ^ (salt * 0x9E3779B97F4A7C15ull) ^
+                    (static_cast<std::uint64_t>(attempt) << 32);
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+  const double factor = 1.0 - j + 2.0 * j * u;                // [1-j, 1+j)
+  return static_cast<std::uint64_t>(static_cast<double>(base) * factor);
+}
+
 DecodeSession::DecodeSession(std::unique_ptr<ByteSource> source,
                              SessionOptions options)
     : source_(std::move(source)),
@@ -84,7 +103,12 @@ void DecodeSession::init() {
     segment_strategy_.push_back(core::resolve_strategy(dopt, index_.segment_header(s)));
   }
 
-  if (options_.num_threads == 0) {
+  if (options_.buffer_pool != nullptr) buffers_ = options_.buffer_pool;
+  if (options_.pool != nullptr) {
+    // Shared pool (the serve daemon): concurrency and memory are bounded
+    // per pool, not per session.
+    pool_ = options_.pool;
+  } else if (options_.num_threads == 0) {
     pool_ = &default_pool();
   } else if (options_.num_threads > 1) {
     own_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
@@ -412,9 +436,9 @@ void DecodeSession::decode_task(std::uint64_t block) {
     std::exception_ptr untyped;
     try {
       const BlockEntry& e = index_.block(static_cast<std::size_t>(block));
-      util::PooledBuffer comp = buffers_.acquire(static_cast<std::size_t>(e.comp_size));
+      util::PooledBuffer comp = buffers_->acquire(static_cast<std::size_t>(e.comp_size));
       source_->read_at(e.comp_offset, comp.span());
-      util::PooledBuffer out = buffers_.acquire(e.uncomp_size);
+      util::PooledBuffer out = buffers_->acquire(e.uncomp_size);
       ctx = pop_context();
       core::decode_block_at(index_.segment_header(e.segment), comp.cspan(), out.span(),
                             segment_strategy_[e.segment], options_.verify_checksums,
@@ -457,7 +481,10 @@ void DecodeSession::decode_task(std::uint64_t block) {
     if (ctx != nullptr) push_context(std::move(ctx));
 
     if (kind == ErrorKind::kIo) {
-      const std::uint64_t backoff = policy.backoff_us(attempt + 1);
+      // Jittered (seeded, per-block salt) so concurrent tasks tripping
+      // over the same fault burst do not retry in lockstep; the jittered
+      // value also charges the deadline, which therefore stays exact.
+      const std::uint64_t backoff = policy.jittered_backoff_us(attempt + 1, block);
       const bool within_deadline =
           policy.deadline_us == 0 || slept_us + backoff <= policy.deadline_us;
       const bool retry = attempt < policy.max_attempts && within_deadline;
@@ -544,7 +571,7 @@ SessionStats DecodeSession::stats() const {
   s.permanent_errors = load(c.permanent_errors);
   s.degraded_reads = load(c.degraded_reads);
   s.bytes_zero_filled = load(c.bytes_zero_filled);
-  s.pool = buffers_.stats();
+  s.pool = buffers_->stats();
   return s;
 }
 

@@ -44,11 +44,16 @@
 namespace gompresso::serve {
 
 /// Retry discipline for transient (IoError) failures inside a decode
-/// task: capped exponential backoff, deterministic — attempt k sleeps
-/// min(base_backoff_us << (k-1), max_backoff_us), no jitter, so fault
-/// plans replay identically. Permanent errors (CorruptionError,
-/// FormatError) are never retried; classification is by type, never by
-/// message string.
+/// task: capped exponential backoff with seeded multiplicative jitter —
+/// attempt k starts from min(base_backoff_us << (k-1), max_backoff_us)
+/// and scales it by a factor drawn deterministically from
+/// (jitter_seed, salt, attempt) in [1-jitter, 1+jitter). Seeding keeps
+/// fault plans replayable (same seed, same sleeps) while the salt —
+/// callers pass the block index, and the serve daemon folds a
+/// per-connection id into jitter_seed — de-synchronizes retry storms
+/// when many tasks hit the same fault burst at once. Permanent errors
+/// (CorruptionError, FormatError) are never retried; classification is
+/// by type, never by message string.
 struct RetryPolicy {
   /// Total attempts per block (1 = no retry).
   std::size_t max_attempts = 3;
@@ -57,15 +62,27 @@ struct RetryPolicy {
   /// Cumulative backoff budget per block; once sleeping would exceed it
   /// the transient error surfaces even with attempts left. 0 = no cap.
   std::uint64_t deadline_us = 0;
+  /// Jitter amplitude as a fraction of the exponential backoff: the
+  /// sleep is drawn from [backoff*(1-jitter), backoff*(1+jitter)).
+  /// 0 disables jitter (exact ladder); clamped to [0, 1].
+  double jitter = 0.25;
+  /// Seed for the jitter draw. Fixed default so runs replay; vary it to
+  /// de-correlate independent retry streams.
+  std::uint64_t jitter_seed = 0x676F6D707A6A6974ull;  // "gompzjit"
 
   /// Backoff before retry attempt `attempt` (2-based: the sleep between
-  /// attempt-1 and attempt).
+  /// attempt-1 and attempt), without jitter.
   std::uint64_t backoff_us(std::size_t attempt) const {
     const unsigned shift = attempt >= 2 ? static_cast<unsigned>(attempt - 2) : 0;
     const std::uint64_t uncapped =
         shift >= 63 ? max_backoff_us : base_backoff_us << shift;
     return std::min(uncapped, max_backoff_us);
   }
+
+  /// backoff_us(attempt) scaled by the deterministic jitter factor for
+  /// (jitter_seed, salt, attempt).
+  std::uint64_t jittered_backoff_us(std::size_t attempt,
+                                    std::uint64_t salt) const;
 };
 
 struct SessionOptions {
@@ -91,6 +108,14 @@ struct SessionOptions {
   /// in microseconds; null = std::this_thread::sleep_for. Must be
   /// callable from pool workers concurrently.
   std::function<void(std::uint64_t)> sleep_hook;
+  /// Shared decode pool. When set it overrides num_threads entirely —
+  /// the serve daemon runs every per-connection session on one pool so
+  /// concurrency is bounded by the pool, not by the connection count.
+  /// Must outlive the session. nullptr = honor num_threads.
+  ThreadPool* pool = nullptr;
+  /// Shared buffer pool (same motivation: one memory-bound witness for
+  /// all sessions). Must outlive the session. nullptr = own pool.
+  util::BufferPool* buffer_pool = nullptr;
 };
 
 /// One uncompressed range a damage-tolerant read could not reproduce
@@ -281,7 +306,8 @@ class DecodeSession {
   std::size_t window_ = 1;      // effective max_inflight_blocks
   std::size_t cache_capacity_ = 0;
 
-  util::BufferPool buffers_;
+  util::BufferPool own_buffers_;
+  util::BufferPool* buffers_ = &own_buffers_;  // options_.buffer_pool if set
 
   /// Serializes the sequential cursor (read/seek/tell). Always acquired
   /// before mutex_, never while holding it.

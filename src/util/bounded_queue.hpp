@@ -44,6 +44,19 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push: false — dropping `v` — when the queue is at
+  /// capacity or closed. This is the admission-control primitive: a
+  /// producer that must never block (the serve poller) sheds load the
+  /// instant the queue is full instead of queuing unboundedly.
+  bool try_push(T v) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(v));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking pop; false when the queue is currently empty.
   bool try_pop(T& out) EXCLUDES(mutex_) {
     MutexLock lock(mutex_);

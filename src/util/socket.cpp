@@ -1,0 +1,220 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace gompresso::util {
+namespace {
+
+[[noreturn]] void raise_errno(const char* what) {
+  throw IoError(std::string("net: ") + what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    raise_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+/// poll() one fd for `events`, retrying on EINTR with the remaining
+/// budget unmeasured (a signal mid-wait re-waits the full timeout; the
+/// callers' deadlines are coarse enough that this cannot extend them
+/// unboundedly in practice — signals here are SIGTERM-class, one-shot).
+bool poll_one(int fd, short events, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  while (true) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("poll");
+    }
+    return rc > 0;
+  }
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  return poll_one(fd, POLLIN, timeout_ms);
+}
+
+bool wait_writable(int fd, int timeout_ms) {
+  return poll_one(fd, POLLOUT, timeout_ms);
+}
+
+std::ptrdiff_t recv_some(int fd, MutableByteSpan dst) {
+  while (true) {
+    const ssize_t n = ::recv(fd, dst.data(), dst.size(), 0);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == EINTR) continue;
+    raise_errno("recv");
+  }
+}
+
+void send_all(int fd, ByteSpan data, int timeout_ms) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as an
+    // IoError on this connection, not a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      check_io(wait_writable(fd, timeout_ms), "net: send timed out (slow client)");
+      continue;
+    }
+    raise_errno("send");
+  }
+}
+
+void send_best_effort(int fd, ByteSpan data) noexcept {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // full buffer or error — shedding never waits
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  check_io(::pipe(fds) == 0, "net: cannot create wake pipe");
+  rd = Fd(fds[0]);
+  wr = Fd(fds[1]);
+  set_nonblocking(rd.get());
+  set_nonblocking(wr.get());
+}
+
+void WakePipe::wake() const noexcept {
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wake-up; EAGAIN is success.
+  [[maybe_unused]] const ssize_t n = ::write(wr.get(), &byte, 1);
+}
+
+void WakePipe::drain() const noexcept {
+  std::uint8_t buf[64];
+  while (::read(rd.get(), buf, sizeof buf) > 0) {
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  check_io(fd.valid(), "net: cannot create socket");
+  const int one = 1;
+  // REUSEADDR: a drained daemon must be restartable without waiting out
+  // TIME_WAIT on its own port.
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    raise_errno("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) raise_errno("listen");
+
+  socklen_t len = sizeof addr;
+  check_io(::getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                         &len) == 0,
+           "net: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(fd.get());
+  fd_ = std::move(fd);
+}
+
+Fd TcpListener::accept(int timeout_ms) {
+  if (!fd_.valid()) return Fd();
+  if (timeout_ms > 0 && !poll_one(fd_.get(), POLLIN, timeout_ms)) return Fd();
+  while (true) {
+    const int conn = ::accept(fd_.get(), nullptr, nullptr);
+    if (conn >= 0) {
+      Fd out(conn);
+      set_nonblocking(conn);
+      const int one = 1;
+      // NODELAY: range responses are one buffered write; Nagle would add
+      // a stacked delay to every small tail segment.
+      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return out;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
+    // Per-connection accept failures (ECONNABORTED, EMFILE under fd
+    // pressure) must not kill the accept loop: report none-available and
+    // let the caller's next tick retry.
+    return Fd();
+  }
+}
+
+Fd connect_loopback(std::uint16_t port, int timeout_ms) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  check_io(fd.valid(), "net: cannot create socket");
+  set_nonblocking(fd.get());
+  // RCVBUF: the server writes whole range responses in one burst. On a
+  // single-core box the reading thread may not be scheduled until the
+  // burst is fully in flight, and the kernel's default receive buffer
+  // (tcp_rmem[1], often 128 KiB) then overflows: segments are pruned,
+  // the retransmits are dropped too, and the transfer crawls through
+  // exponential RTO backoff (observed: a 256 KiB response taking 40+ s).
+  // A buffer sized for several full responses absorbs the burst. Must be
+  // set before connect() so window scaling is negotiated against it.
+  const int rcvbuf = 4 * 1024 * 1024;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    check_io(errno == EINPROGRESS, "net: connect failed");
+    check_io(wait_writable(fd.get(), timeout_ms), "net: connect timed out");
+    int err = 0;
+    socklen_t len = sizeof err;
+    check_io(::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+                 err == 0,
+             "net: connect refused");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+}  // namespace gompresso::util

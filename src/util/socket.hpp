@@ -1,0 +1,107 @@
+// Thin POSIX socket/poll wrappers for the network serve plane.
+//
+// The daemon in src/net/ is dependency-free by design, so the raw
+// syscall surface it needs lives here: an RAII fd, a loopback TCP
+// listener with ephemeral-port support, poll-based readiness waits, and
+// bounded send/recv helpers. Every hard failure is a typed IoError
+// (the retriable class — a socket error is transient from the archive's
+// point of view); timeouts are reported in-band so callers can
+// distinguish "slow peer" from "dead peer".
+//
+// All accepted and connected sockets are non-blocking: the poller
+// multiplexes hundreds of idle connections with poll(), and the workers
+// use the wait_*/send_all helpers to put explicit deadlines on every
+// blocking step (a slow client must never pin a worker thread).
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace gompresso::util {
+
+/// RAII file descriptor (socket or pipe end). Move-only; closes on
+/// destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Waits up to `timeout_ms` for `fd` to become readable (POLLIN/HUP).
+/// Returns false on timeout; throws IoError on poll failure.
+bool wait_readable(int fd, int timeout_ms);
+
+/// Waits up to `timeout_ms` for `fd` to become writable.
+bool wait_writable(int fd, int timeout_ms);
+
+/// Non-blocking read of whatever is available into `dst`. Returns the
+/// byte count (> 0), 0 on clean EOF, or -1 when no data is ready
+/// (EAGAIN). Throws IoError on a hard error (reset, bad fd).
+std::ptrdiff_t recv_some(int fd, MutableByteSpan dst);
+
+/// Writes all of `data`, waiting up to `timeout_ms` for writability
+/// before every chunk. Throws IoError on timeout (slow client) or on a
+/// hard error; the timeout is per-chunk, so total wall time is bounded
+/// by timeout_ms x ceil(data/SO_SNDBUF) — a stalled peer hits the
+/// timeout on the first full buffer.
+void send_all(int fd, ByteSpan data, int timeout_ms);
+
+/// Best-effort non-blocking write (used to shed with a 503 without ever
+/// blocking the poller). Writes what the socket buffer accepts and
+/// drops the rest; never throws.
+void send_best_effort(int fd, ByteSpan data) noexcept;
+
+/// A pipe pair used to wake a poll() loop from another thread. Both
+/// ends are non-blocking; wake() coalesces (a full pipe is success).
+struct WakePipe {
+  Fd rd;
+  Fd wr;
+
+  WakePipe();
+  void wake() const noexcept;
+  /// Reads the pipe dry (called by the poller once woken).
+  void drain() const noexcept;
+};
+
+/// Listening TCP socket bound to 127.0.0.1. Port 0 binds an ephemeral
+/// port; port() reports the one the kernel chose.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port, int backlog = 128);
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
+
+  /// Accepts one pending connection, waiting up to `timeout_ms` for one
+  /// to arrive (0 = poll and return). Returns an invalid Fd when none
+  /// arrived; the accepted socket is non-blocking with TCP_NODELAY.
+  Fd accept(int timeout_ms);
+
+  /// Closes the listening socket (new connects are refused). Idempotent.
+  void close() { fd_.reset(); }
+  bool listening() const { return fd_.valid(); }
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Client-side connect to 127.0.0.1:`port` with a bounded handshake
+/// wait (tests, the bench load harness, and health probes). The socket
+/// comes back non-blocking. Throws IoError on refusal or timeout.
+Fd connect_loopback(std::uint16_t port, int timeout_ms);
+
+}  // namespace gompresso::util

@@ -15,12 +15,17 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/gompresso.hpp"
 #include "datagen/datasets.hpp"
 #include "fuzz_budget.hpp"
+#include "net/http.hpp"
+#include "net/server.hpp"
 #include "serve/fault_source.hpp"
 #include "util/rng.hpp"
 
@@ -225,6 +230,187 @@ TEST(Chaos, CorruptionPlansDamageExactlyTheChosenBlocks) {
         }
       }
       EXPECT_EQ(session.stats().retries, 0u);  // corruption is never retried
+    }
+  }
+}
+
+// The serve-loop soak: concurrent HTTP clients against a daemon whose
+// every session reads through a fault plan (one permanently damaged
+// block + scripted transient bursts below the retry budget), with
+// overload forced by oversized requests. The invariants are the serve
+// plane's whole contract: no crash or hang, every 200/206 byte-exact
+// (or explicitly degraded), 502 only for ranges touching the damaged
+// block with degraded mode off, every 503 labelled with X-Gomp-Shed,
+// and zero 500s.
+TEST(Chaos, ServeSoakKeepsTaxonomyAndBytesUnderFaultsAndOverload) {
+  const int trials = testing::fuzz_trials(2);
+  for (int trial = 0; trial < trials; ++trial) {
+    const Codec codec = kCodecs[trial % 3];
+    const Fixture f(codec);
+    const auto clean_source =
+        serve::memory_source(ByteSpan(f.file.data(), f.file.size()));
+    const serve::SeekIndex index = serve::SeekIndex::build(*clean_source);
+    ASSERT_GT(index.num_blocks(), 3u);
+
+    Rng rng(9000u + static_cast<unsigned>(trial) * 17u);
+    const serve::BlockEntry victim = index.block(
+        static_cast<std::size_t>(rng.next_below(index.num_blocks())));
+    const std::uint64_t dmg_lo = victim.uncomp_offset;
+    const std::uint64_t dmg_hi = victim.uncomp_offset + victim.uncomp_size;
+    // Persistent damage in the victim's payload, plus transient bursts
+    // (2 < max_attempts 3, so retries absorb them invisibly) on the
+    // first read of a few other blocks.
+    std::string spec =
+        "flip@" + std::to_string(victim.comp_offset + victim.comp_size / 2) +
+        "+2:0x2a";
+    std::set<std::uint64_t> transient_offsets;  // duplicates would stack
+    for (int i = 0; i < 5; ++i) {               // bursts past the retry budget
+      const serve::BlockEntry& b = index.block(
+          static_cast<std::size_t>(rng.next_below(index.num_blocks())));
+      if (b.comp_offset == victim.comp_offset) continue;
+      transient_offsets.insert(b.comp_offset);
+    }
+    for (const std::uint64_t off : transient_offsets) {
+      spec += ",transient@" + std::to_string(off) + ":2";
+    }
+
+    const bool degraded = trial % 2 == 1;
+    net::ServeOptions opt;
+    opt.port = 0;
+    opt.worker_threads = 2;
+    opt.decode_threads = 1;
+    opt.pending_requests = 4;            // forces queue pressure
+    opt.max_response_bytes = 64 * 1024;  // whole-archive GETs must shed
+    opt.degraded = degraded;
+    opt.session.sleep_hook = [](std::uint64_t) {};  // backoff without wall time
+    net::Server server(
+        [&f, spec] {
+          return std::unique_ptr<serve::ByteSource>(
+              std::make_unique<serve::FaultInjectingByteSource>(
+                  serve::memory_source(ByteSpan(f.file.data(), f.file.size())),
+                  serve::FaultPlan::parse(spec)));
+        },
+        index, opt);
+    server.start();
+
+    const std::uint64_t total = f.input.size();
+    std::mutex mu;
+    std::vector<std::string> failures;
+    const auto fail = [&](std::string what) {
+      std::lock_guard<std::mutex> lock(mu);
+      failures.push_back(std::move(what));
+    };
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        try {
+          Rng crng(static_cast<std::uint64_t>(trial) * 101u +
+                   static_cast<std::uint64_t>(c) + 1u);
+          auto client = std::make_unique<net::HttpClient>(server.port());
+          int reconnects = 0;
+          for (int i = 0; i < 15; ++i) {
+            // First request aims straight at the damaged block so the
+            // 502/degraded path fires deterministically; every fifth is
+            // an oversized whole-archive GET that must be shed.
+            const bool oversized = i % 5 == 4;
+            std::uint64_t off = 0, len = 0;
+            std::vector<std::string> extra;
+            if (!oversized) {
+              if (i == 0) {
+                off = dmg_lo;
+                len = std::min<std::uint64_t>(victim.uncomp_size, 2048);
+              } else {
+                len = 1 + crng.next_below(32 * 1024);
+                off = crng.next_below(total - len);
+              }
+              extra.push_back("Range: bytes=" + std::to_string(off) + "-" +
+                              std::to_string(off + len - 1));
+            }
+            net::HttpResponse resp;
+            if (!client->alive()) {
+              client = std::make_unique<net::HttpClient>(server.port());
+            }
+            if (!client->get("/archive", extra, resp)) {
+              // Sheds and reaps close the connection; reconnect and
+              // retry the same request shape.
+              if (++reconnects > 100) {
+                fail("client " + std::to_string(c) + ": reconnect storm");
+                return;
+              }
+              client = std::make_unique<net::HttpClient>(server.port());
+              --i;
+              continue;
+            }
+            const bool touches_damage = !oversized &&
+                off < dmg_hi && off + len > dmg_lo;
+            switch (resp.status) {
+              case 206: {
+                if (touches_damage && !degraded) {
+                  fail("206 over damaged range with degraded mode off");
+                  break;
+                }
+                if (resp.body.size() != len) {
+                  fail("206 length mismatch");
+                  break;
+                }
+                const std::string* deg = resp.header("x-gomp-degraded");
+                if (deg != nullptr && !degraded) {
+                  fail("degraded header from a non-degraded server");
+                  break;
+                }
+                for (std::uint64_t p = 0; p < len; ++p) {
+                  const std::uint64_t abs = off + p;
+                  const bool in_damage = abs >= dmg_lo && abs < dmg_hi;
+                  const auto byte =
+                      static_cast<std::uint8_t>(resp.body[static_cast<std::size_t>(p)]);
+                  const std::uint8_t want =
+                      in_damage && deg != nullptr ? std::uint8_t{0}
+                                                  : f.input[static_cast<std::size_t>(abs)];
+                  if (byte != want) {
+                    fail("byte mismatch at " + std::to_string(abs) + " off=" +
+                         std::to_string(off) + " len=" + std::to_string(len) +
+                         " dmg=[" + std::to_string(dmg_lo) + "," +
+                         std::to_string(dmg_hi) + ") deg=" +
+                         (deg ? *deg : "none") + " got=" +
+                         std::to_string(byte) + " want=" + std::to_string(want));
+                    break;
+                  }
+                }
+                break;
+              }
+              case 502:
+                if (degraded) fail("502 from a degraded-mode server");
+                if (!touches_damage) fail("502 for an undamaged range");
+                break;
+              case 503:
+                if (resp.header("x-gomp-shed") == nullptr) {
+                  fail("503 without X-Gomp-Shed");
+                }
+                break;
+              default:
+                fail("unexpected status " + std::to_string(resp.status));
+            }
+          }
+        } catch (const std::exception& e) {
+          fail("client " + std::to_string(c) + " exception: " + e.what());
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    server.stop();
+
+    for (const std::string& what : failures) ADD_FAILURE() << what;
+    const net::ServerStats st = server.stats();
+    EXPECT_EQ(st.error_500, 0u);
+    EXPECT_GT(st.requests, 0u);
+    EXPECT_GT(st.shed_503, 0u);  // the oversized GETs
+    if (degraded) {
+      EXPECT_GT(st.degraded_responses, 0u);
+      EXPECT_EQ(st.failed_502, 0u);
+    } else {
+      EXPECT_GT(st.failed_502, 0u);
+      EXPECT_EQ(st.degraded_responses, 0u);
     }
   }
 }

@@ -356,6 +356,70 @@ TEST(RetryPolicy, BackoffIsCappedExponential) {
   EXPECT_EQ(p.backoff_us(100), 3000u);  // shift overflow guarded
 }
 
+TEST(RetryPolicy, JitterStaysInsideTheConfiguredBand) {
+  serve::RetryPolicy p;
+  p.jitter = 0.25;
+  for (std::uint64_t salt = 0; salt < 64; ++salt) {
+    for (std::size_t attempt = 2; attempt <= 6; ++attempt) {
+      const std::uint64_t base = p.backoff_us(attempt);
+      const std::uint64_t j = p.jittered_backoff_us(attempt, salt);
+      // [base*(1-j), base*(1+j)) — integer-truncated at the low edge.
+      EXPECT_GE(j, base - base / 4);
+      EXPECT_LT(j, base + base / 4 + 1);
+    }
+  }
+}
+
+TEST(RetryPolicy, JitterIsDeterministicPerSeedAndSalt) {
+  serve::RetryPolicy a;
+  serve::RetryPolicy b = a;
+  // Same (seed, salt, attempt) -> same sleep: fault plans replay.
+  EXPECT_EQ(a.jittered_backoff_us(2, 7), b.jittered_backoff_us(2, 7));
+  // Different salts (blocks/connections) de-correlate.
+  bool varies = false;
+  for (std::uint64_t salt = 0; salt < 16 && !varies; ++salt) {
+    varies = a.jittered_backoff_us(2, salt) != a.jittered_backoff_us(2, salt + 1);
+  }
+  EXPECT_TRUE(varies);
+  // A different seed draws a different ladder somewhere.
+  b.jitter_seed ^= 0xDEADBEEFull;
+  bool seed_varies = false;
+  for (std::uint64_t salt = 0; salt < 16 && !seed_varies; ++salt) {
+    seed_varies = a.jittered_backoff_us(2, salt) != b.jittered_backoff_us(2, salt);
+  }
+  EXPECT_TRUE(seed_varies);
+}
+
+TEST(RetryPolicy, ZeroJitterReproducesTheExactLadder) {
+  serve::RetryPolicy p;
+  p.jitter = 0;
+  for (std::size_t attempt = 2; attempt <= 8; ++attempt) {
+    EXPECT_EQ(p.jittered_backoff_us(attempt, 42), p.backoff_us(attempt));
+  }
+}
+
+TEST(DecodeSession, JitteredRetrySleepsStayInBandAndAbsorbFaults) {
+  const Fixture f;
+  auto faulty = wrap(f.file);
+  serve::FaultInjectingByteSource* handle = faulty.get();
+  std::vector<std::uint64_t> sleeps;
+  serve::SessionOptions opt;
+  opt.num_threads = 1;  // default jitter = 0.25 stays on
+  opt.sleep_hook = [&sleeps](std::uint64_t us) { sleeps.push_back(us); };
+  DecodeSession session(std::move(faulty), opt);
+
+  handle->inject(serve::FaultSpec::transient_any(2));
+  Bytes buf(1000);
+  ASSERT_EQ(session.read_at(0, MutableByteSpan(buf.data(), buf.size())), 1000u);
+  EXPECT_TRUE(std::equal(buf.begin(), buf.end(), f.input.begin()));
+  ASSERT_EQ(sleeps.size(), 2u);
+  // attempt 2 from base 500, attempt 3 from base 1000, each +/- 25%.
+  EXPECT_GE(sleeps[0], 375u);
+  EXPECT_LT(sleeps[0], 626u);
+  EXPECT_GE(sleeps[1], 750u);
+  EXPECT_LT(sleeps[1], 1251u);
+}
+
 TEST(DecodeSession, RetryAbsorbsTransientFaults) {
   const Fixture f;
   auto faulty = wrap(f.file);
@@ -363,6 +427,7 @@ TEST(DecodeSession, RetryAbsorbsTransientFaults) {
   std::vector<std::uint64_t> sleeps;
   serve::SessionOptions opt;
   opt.num_threads = 1;
+  opt.retry.jitter = 0;  // exact ladder for this test
   opt.sleep_hook = [&sleeps](std::uint64_t us) { sleeps.push_back(us); };
   DecodeSession session(std::move(faulty), opt);
 
@@ -416,6 +481,7 @@ TEST(DecodeSession, DeadlineCapsCumulativeBackoff) {
   serve::SessionOptions opt;
   opt.num_threads = 1;
   opt.retry.max_attempts = 10;
+  opt.retry.jitter = 0;         // exact ladder for the deadline arithmetic
   opt.retry.deadline_us = 600;  // allows the 500us sleep, not 500 + 1000
   opt.sleep_hook = [&sleeps](std::uint64_t us) { sleeps.push_back(us); };
   DecodeSession session(std::move(faulty), opt);
