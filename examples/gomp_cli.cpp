@@ -41,8 +41,11 @@
 // cat additionally accepts:
 //   --best-effort     zero-fill unrecoverable blocks instead of failing;
 //                     damaged extents go to stderr, exit code 1 if any
-// cat/range accept GMPZ containers and GMPS streams alike; with no
-// output path the bytes go to stdout and the stats to stderr.
+// cat/range/verify/stats/serve accept GMPZ containers, GMPS streams,
+// and gzip files alike (the container is sniffed; gzip gets the
+// rapidgzip-style parallel index, see src/ingest/). With no output
+// path the bytes go to stdout and the stats to stderr. `gomp index`
+// writes the sidecar flavor matching the container (.gmpx / .gzix).
 #include <cctype>
 #include <chrono>
 #include <csignal>
@@ -58,6 +61,7 @@
 #include <vector>
 
 #include "core/gompresso.hpp"
+#include "format/sniff.hpp"
 #include "net/server.hpp"
 #include "serve/fault_source.hpp"
 #include "util/stopwatch.hpp"
@@ -189,7 +193,9 @@ bool parse_session_args(int argc, char** argv, serve::SessionOptions& opt,
   return true;
 }
 
-/// Opens a session over `input_path`, via the sidecar when given. A
+/// Opens a session over `input_path` through gompresso::open() — the
+/// container (GMPZ, GMPS, or gzip) is sniffed from the leading bytes,
+/// and the sidecar (".gmpx" or ".gzix") is loaded when given. A
 /// non-empty `fault_spec` interposes the fault-injection harness between
 /// the file and the session (the spec's faults hit the index scan too —
 /// arm offsets accordingly).
@@ -202,11 +208,10 @@ std::unique_ptr<DecodeSession> open_session(const std::string& input_path,
     source = std::make_unique<serve::FaultInjectingByteSource>(
         std::move(source), serve::FaultPlan::parse(fault_spec));
   }
-  if (!index_path.empty()) {
-    return std::make_unique<DecodeSession>(std::move(source),
-                                           serve::SeekIndex::load(index_path), opt);
-  }
-  return std::make_unique<DecodeSession>(std::move(source), opt);
+  OpenOptions oopt;
+  oopt.session = opt;
+  oopt.sidecar_path = index_path;
+  return gompresso::open(std::move(source), oopt);
 }
 
 /// Arms the tracer when a --trace path was given. finish() must run
@@ -242,7 +247,7 @@ void print_session_stats(const DecodeSession& session, std::uint64_t bytes,
                "peak pooled %.1f MiB\n",
                static_cast<unsigned long long>(bytes), seconds,
                seconds > 0 ? bytes / 1e6 / seconds : 0.0,
-               session.index().num_blocks(),
+               session.num_blocks(),
                static_cast<unsigned long long>(st.blocks_decoded),
                static_cast<unsigned long long>(st.cache_hits),
                static_cast<unsigned long long>(st.evictions),
@@ -328,12 +333,12 @@ int cmd_verify(int argc, char** argv) {
   // decodes every block damage-tolerantly) so an interrupt lands between
   // blocks: the partial report and the trace still flush.
   serve::DamageReport damage;
-  const std::size_t blocks = session->index().num_blocks();
+  const std::size_t blocks = session->num_blocks();
   std::size_t scanned = 0;
   Bytes block_buf;
   for (std::size_t b = 0; b < blocks && g_interrupted == 0; ++b) {
-    const serve::BlockEntry& e = session->index().block(b);
-    block_buf.resize(e.uncomp_size);
+    const serve::BackendBlock e = session->block_extent(b);
+    block_buf.resize(static_cast<std::size_t>(e.uncomp_size));
     session->read_at_damage_tolerant(
         e.uncomp_offset, MutableByteSpan(block_buf.data(), block_buf.size()),
         &damage);
@@ -408,12 +413,18 @@ int cmd_serve(int argc, char** argv) {
   install_signal_handlers();
   TraceGuard trace(trace_path);
 
-  // The index always comes from a clean scan (or a sidecar): faults are
-  // a data-plane concern, and a daemon that cannot trust its geometry
-  // should not start.
-  serve::SeekIndex index =
-      index_path.empty() ? serve::SeekIndex::build(*serve::open_file_source(path))
-                         : serve::SeekIndex::load(index_path);
+  // The backend always comes from a clean scan (or a sidecar): faults
+  // are a data-plane concern, and a daemon that cannot trust its
+  // geometry should not start. open_backend() sniffs the container, so
+  // `gomp serve any.gz` serves ranges of the decompressed stream.
+  OpenOptions oopt;
+  oopt.session = sopt;
+  oopt.sidecar_path = index_path;
+  std::shared_ptr<serve::ContainerBackend> backend;
+  {
+    const auto clean = serve::open_file_source(path);
+    backend = open_backend(*clean, oopt);
+  }
   net::SourceFactory factory =
       [path, fault_spec]() -> std::unique_ptr<serve::ByteSource> {
     std::unique_ptr<serve::ByteSource> src = serve::open_file_source(path);
@@ -425,7 +436,7 @@ int cmd_serve(int argc, char** argv) {
   };
   opt.session = sopt;
 
-  net::Server server(std::move(factory), std::move(index), opt);
+  net::Server server(std::move(factory), std::move(backend), opt);
   server.start();
   // Parseable by the CI smoke job and the signal tests: port first.
   std::printf("gomp serve: listening on 127.0.0.1:%u (%llu bytes, %s)\n",
@@ -499,8 +510,30 @@ int cmd_range(int argc, char** argv) {
 int cmd_index(int argc, char** argv) {
   if (argc < 1 || argc > 2) return usage();
   const std::string input_path = argv[0];
-  const std::string sidecar_path = argc == 2 ? argv[1] : input_path + ".gmpx";
   const auto source = serve::open_file_source(input_path);
+
+  // Sniff the container so `gomp index any.gz` writes the matching
+  // sidecar flavor (".gzix" seek index vs the native ".gmpx").
+  Bytes prefix(static_cast<std::size_t>(
+      std::min<std::uint64_t>(source->size(), format::kSniffBytes)));
+  if (!prefix.empty()) {
+    source->read_at(0, MutableByteSpan(prefix.data(), prefix.size()));
+  }
+  if (format::sniff_container(ByteSpan(prefix.data(), prefix.size())) ==
+      format::ContainerKind::kGzip) {
+    const std::string sidecar_path = argc == 2 ? argv[1] : input_path + ".gzix";
+    ingest::GzipIndexOptions gopt;
+    gopt.pool = &default_pool();
+    const ingest::GzipIndex index = ingest::GzipIndex::build(*source, gopt);
+    index.save(sidecar_path);
+    std::printf("%s: %zu members, %zu chunks, %llu uncompressed bytes -> %s\n",
+                input_path.c_str(), index.num_members(), index.num_chunks(),
+                static_cast<unsigned long long>(index.total_uncompressed()),
+                sidecar_path.c_str());
+    return 0;
+  }
+
+  const std::string sidecar_path = argc == 2 ? argv[1] : input_path + ".gmpx";
   const serve::SeekIndex index = serve::SeekIndex::build(*source);
   index.save(sidecar_path);
   std::printf("%s: %zu segments, %zu blocks, %llu uncompressed bytes -> %s\n",
@@ -664,7 +697,7 @@ int cmd_stats(int argc, char** argv) {
   {
     const auto session =
         open_session(positional[0], index_path, fault_spec, opt);
-    blocks = session->index().num_blocks();
+    blocks = session->num_blocks();
     Stopwatch timer;
     Bytes chunk(kStreamCopyChunk);
     while (true) {

@@ -9,12 +9,27 @@
 //   gompresso::Bytes file = gompresso::compress(input, opt);
 //   gompresso::Bytes back = gompresso::decompress_bytes(file);
 //
+// Reading any supported container (native GMPZ/GMPS or gzip) goes
+// through one front door:
+//
+//   auto session = gompresso::open("data.gz");   // sniffs the magic
+//   session->read_at(offset, span);              // prefetch + cache
+//
+// Backend map — open() dispatches on the leading bytes:
+//   GMPZ/GMPS -> serve::make_gmpz_backend (SeekIndex from the header,
+//                "GMPX" sidecar checkpoint)
+//   gzip      -> ingest::make_gzip_backend (GzipIndex discovered by
+//                speculative parallel decode, "GZIX" sidecar)
+// See core/open.hpp for OpenOptions (sidecars, gzip chunking) and
+// serve/backend.hpp for the ContainerBackend seam itself.
+//
 // See README.md for the architecture overview and DESIGN.md for the
 // paper-to-module map.
 #pragma once
 
 #include "core/compressor.hpp"        // IWYU pragma: export
 #include "core/decompressor.hpp"      // IWYU pragma: export
+#include "core/open.hpp"              // IWYU pragma: export
 #include "core/options.hpp"           // IWYU pragma: export
 #include "core/stream.hpp"            // IWYU pragma: export
 #include "obs/metrics.hpp"            // IWYU pragma: export

@@ -9,6 +9,10 @@
 #include "core/block_decode.hpp"
 #include "core/compressor.hpp"
 #include "core/decompressor.hpp"
+#include "core/open.hpp"
+#include "format/sniff.hpp"
+#include "ingest/gzip_format.hpp"
+#include "ingest/inflate.hpp"
 #include "serve/decode_session.hpp"
 #include "util/byte_reader.hpp"
 #include "util/varint.hpp"
@@ -22,27 +26,27 @@ void write_bytes(std::ostream& out, ByteSpan data) {
   check(out.good(), "stream: write failed");
 }
 
-/// Decode path for seekable inputs: a DecodeSession over the stream gives
-/// the pipelined-prefetch engine, and memory stays bounded by its window
-/// regardless of segment size (the old implementation buffered whole
-/// segments).
+/// Decode path for seekable inputs: gompresso::open() sniffs the
+/// container (GMPS, bare GMPZ, or gzip) and a DecodeSession over the
+/// stream gives the pipelined-prefetch engine; memory stays bounded by
+/// its window regardless of segment size (the old implementation
+/// buffered whole segments).
 std::uint64_t decompress_stream_session(std::istream& in, std::ostream& out,
                                         const DecompressOptions& options) {
-  serve::SessionOptions sopt;
-  sopt.num_threads = options.num_threads;
-  sopt.verify_checksums = options.verify_checksums;
-  sopt.auto_strategy = options.auto_strategy;
-  sopt.strategy = options.strategy;
+  OpenOptions oopt;
+  oopt.session.num_threads = options.num_threads;
+  oopt.session.verify_checksums = options.verify_checksums;
+  oopt.session.auto_strategy = options.auto_strategy;
+  oopt.session.strategy = options.strategy;
 
   const std::istream::pos_type base = in.tellg();
-  // The session accepts a GMPS stream or a bare GMPZ container — the
-  // decode front end serves either.
-  serve::DecodeSession session(serve::istream_source(in), sopt);
+  std::unique_ptr<serve::DecodeSession> session =
+      open(serve::istream_source(in), oopt);
 
   Bytes chunk(kStreamCopyChunk);
   std::uint64_t total = 0;
   while (true) {
-    const std::size_t n = session.read(MutableByteSpan(chunk.data(), chunk.size()));
+    const std::size_t n = session->read(MutableByteSpan(chunk.data(), chunk.size()));
     if (n == 0) break;
     write_bytes(out, ByteSpan(chunk.data(), n));
     total += n;
@@ -50,7 +54,54 @@ std::uint64_t decompress_stream_session(std::istream& in, std::ostream& out,
   // Leave the stream where sequential consumption would: just past the
   // terminator (the session's random-access reads scattered the cursor).
   in.clear();
-  in.seekg(base + static_cast<std::streamoff>(session.index().compressed_end()));
+  in.seekg(base + static_cast<std::streamoff>(session->compressed_end()));
+  return total;
+}
+
+/// Sequential gzip decode for non-seekable inputs. The compressed bytes
+/// are slurped (a pipe cannot be rewound, and the chunk driver's retry
+/// protocol would re-emit already-flushed output), but the OUTPUT
+/// streams through a flushing sink that retains only the 32 KiB
+/// reference window — so memory is O(compressed), never
+/// O(uncompressed). Trailer CRC/ISIZE verification happens on the
+/// indexed (seekable) path; here structural damage still fails decode.
+std::uint64_t decompress_gzip_sequential(std::istream& in, ByteSpan prefix,
+                                         std::ostream& out) {
+  // Slurp the rest of the pipe. The byte-exact reader that sniffed the
+  // prefix holds no lookahead (its 4-byte read bypassed the window), so
+  // the stream cursor sits right after the prefix.
+  Bytes data(prefix.begin(), prefix.end());
+  while (in.good()) {
+    const std::size_t old = data.size();
+    data.resize(old + kStreamCopyChunk);
+    in.read(reinterpret_cast<char*>(data.data() + old),
+            static_cast<std::streamsize>(kStreamCopyChunk));
+    data.resize(old + static_cast<std::size_t>(in.gcount()));
+  }
+  check_io(in.eof(), "stream: read failed");
+
+  // Strict cold-open header parse first: a malformed leading header is
+  // a FormatError ("this is not gzip"), unlike mid-stream damage.
+  util::SpanReader hdr_reader(ByteSpan(data.data(), data.size()));
+  ingest::parse_member_header(hdr_reader);
+
+  ingest::GrowingByteSink sink(ByteSpan(),
+                               ingest::max_inflated_bytes(data.size()));
+  sink.enable_flush(
+      [](void* ctx, ByteSpan flushed) {
+        write_bytes(*static_cast<std::ostream*>(ctx), flushed);
+      },
+      &out, kStreamCopyChunk);
+  ingest::InflateScratch scratch;
+  ingest::ChunkResult result;
+  const ingest::ChunkStatus status = ingest::inflate_chunk(
+      ByteSpan(data.data(), data.size()), 8 * hdr_reader.offset(),
+      /*stop_bit=*/8 * data.size(), /*stream_end_byte=*/data.size(), sink,
+      scratch, result);
+  check_corrupt(status == ingest::ChunkStatus::kEndOfStream,
+                "gzip: compressed stream truncated");
+  const std::uint64_t total = sink.produced();
+  sink.finish();
   return total;
 }
 
@@ -138,19 +189,33 @@ std::uint64_t decompress_stream_sequential(std::istream& in, std::ostream& out,
     }
   };
 
-  const std::uint32_t magic = reader.read_u32le();
-  if (magic == format::kMagic) {
-    // A bare GMPZ container (accepted on either path): no framing, so
-    // there is no payload size to validate against — the size list alone
-    // delimits the blocks, and consumption stops exactly after the last.
-    // The block-count invariant still must hold, or a corrupt header
-    // claiming fewer blocks silently truncates the output.
-    const format::FileHeader header = format::FileHeader::deserialize_body(reader);
-    header.check_block_count();
-    decode_blocks(header);
-    return total;
+  // One shared classifier decides the container — the same
+  // format::sniff_container() the session open path uses, so a format
+  // readable when seekable is readable on a pipe too.
+  std::uint8_t prefix[format::kSniffBytes];
+  reader.read_exact(MutableByteSpan(prefix, sizeof prefix));
+  switch (format::sniff_container(ByteSpan(prefix, sizeof prefix))) {
+    case format::ContainerKind::kGmpz: {
+      // A bare GMPZ container (accepted on either path): no framing, so
+      // there is no payload size to validate against — the size list
+      // alone delimits the blocks, and consumption stops exactly after
+      // the last. The block-count invariant still must hold, or a
+      // corrupt header claiming fewer blocks silently truncates the
+      // output.
+      const format::FileHeader header =
+          format::FileHeader::deserialize_body(reader);
+      header.check_block_count();
+      decode_blocks(header);
+      return total;
+    }
+    case format::ContainerKind::kGzip:
+      return decompress_gzip_sequential(in, ByteSpan(prefix, sizeof prefix),
+                                        out);
+    case format::ContainerKind::kGmps:
+      break;  // segment loop below
+    case format::ContainerKind::kUnknown:
+      throw FormatError("stream: bad magic");
   }
-  check(magic == kStreamMagic, "stream: bad magic");
   while (true) {
     const std::uint64_t segment_size = reader.read_varint();
     if (segment_size == 0) break;  // terminator

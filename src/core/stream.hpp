@@ -26,6 +26,7 @@
 #include <iosfwd>
 
 #include "core/options.hpp"
+#include "format/sniff.hpp"
 #include "util/common.hpp"
 
 namespace gompresso {
@@ -38,8 +39,9 @@ inline constexpr std::size_t kDefaultChunkSize = 64 * 1024 * 1024;
 inline constexpr std::size_t kStreamCopyChunk = 1024 * 1024;
 
 /// Stream magic "GMPS" (the container's own magic is format::kMagic).
-/// Shared with serve::SeekIndex, which scans the same framing.
-inline constexpr std::uint32_t kStreamMagic = 0x53504D47u;
+/// Canonically defined next to the shared sniffer (format/sniff.hpp);
+/// re-exported here for the stream framing code and serve::SeekIndex.
+inline constexpr std::uint32_t kStreamMagic = format::kGmpsMagic;
 
 /// Compresses `in` to `out` as a Gompresso stream. Returns the number of
 /// uncompressed bytes consumed. Throws gompresso::Error on I/O failure.

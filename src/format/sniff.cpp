@@ -1,0 +1,37 @@
+#include "format/sniff.hpp"
+
+#include "format/header.hpp"
+
+namespace gompresso::format {
+
+ContainerKind sniff_container(ByteSpan prefix) {
+  if (prefix.size() >= 3 && prefix[0] == kGzipId1 && prefix[1] == kGzipId2 &&
+      prefix[2] == kGzipCmDeflate) {
+    return ContainerKind::kGzip;
+  }
+  if (prefix.size() >= 4) {
+    std::uint32_t magic = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      magic |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+    }
+    if (magic == kMagic) return ContainerKind::kGmpz;
+    if (magic == kGmpsMagic) return ContainerKind::kGmps;
+  }
+  return ContainerKind::kUnknown;
+}
+
+const char* container_kind_name(ContainerKind kind) {
+  switch (kind) {
+    case ContainerKind::kGmpz:
+      return "gmpz";
+    case ContainerKind::kGmps:
+      return "gmps";
+    case ContainerKind::kGzip:
+      return "gzip";
+    case ContainerKind::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+}  // namespace gompresso::format

@@ -1,0 +1,95 @@
+#include "ingest/gzip_format.hpp"
+
+#include "util/crc32.hpp"
+
+namespace gompresso::ingest {
+
+GzipMemberHeader parse_member_header(util::ByteReader& reader) {
+  // Raw header bytes are accumulated so FHCRC (CRC32 low 16 bits over
+  // everything before the CRC16 field) can be verified exactly.
+  Bytes raw;
+  raw.reserve(16);
+  const auto u8 = [&] {
+    const std::uint8_t b = reader.read_u8();
+    raw.push_back(b);
+    return b;
+  };
+
+  GzipMemberHeader h;
+  const std::uint8_t id1 = u8();
+  const std::uint8_t id2 = u8();
+  check_format(id1 == format::kGzipId1 && id2 == format::kGzipId2,
+               "gzip: bad member magic");
+  const std::uint8_t cm = u8();
+  check_format(cm == format::kGzipCmDeflate,
+               "gzip: unsupported compression method (want deflate)");
+  h.flags = u8();
+  check_format((h.flags & kGzipFlagReserved) == 0,
+               "gzip: reserved FLG bits set");
+  h.mtime = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    h.mtime |= static_cast<std::uint32_t>(u8()) << (8 * i);
+  }
+  h.xfl = u8();
+  h.os = u8();
+
+  if ((h.flags & kGzipFlagExtra) != 0) {
+    const std::uint32_t xlen =
+        static_cast<std::uint32_t>(u8()) | (static_cast<std::uint32_t>(u8()) << 8);
+    for (std::uint32_t i = 0; i < xlen; ++i) u8();
+  }
+  if ((h.flags & kGzipFlagName) != 0) {
+    while (true) {
+      const std::uint8_t b = u8();
+      if (b == 0) break;
+      h.name.push_back(static_cast<char>(b));
+    }
+  }
+  if ((h.flags & kGzipFlagComment) != 0) {
+    while (u8() != 0) {
+    }
+  }
+  if ((h.flags & kGzipFlagHcrc) != 0) {
+    const std::uint32_t expect = crc32(ByteSpan(raw.data(), raw.size())) & 0xFFFFu;
+    const std::uint32_t got = static_cast<std::uint32_t>(reader.read_u8()) |
+                              (static_cast<std::uint32_t>(reader.read_u8()) << 8);
+    check_corrupt(got == expect, "gzip: header CRC16 (FHCRC) mismatch");
+    h.header_bytes = raw.size() + 2;
+  } else {
+    h.header_bytes = raw.size();
+  }
+  return h;
+}
+
+void skip_member_header(BitReader& br) {
+  const auto u8 = [&br] { return static_cast<std::uint8_t>(br.read(8)); };
+  check_corrupt(u8() == format::kGzipId1 && u8() == format::kGzipId2,
+                "gzip: bad member magic mid-stream");
+  check_corrupt(u8() == format::kGzipCmDeflate,
+                "gzip: unsupported compression method mid-stream");
+  const std::uint8_t flags = u8();
+  check_corrupt((flags & kGzipFlagReserved) == 0,
+                "gzip: reserved FLG bits set mid-stream");
+  for (unsigned i = 0; i < 6; ++i) u8();  // MTIME, XFL, OS
+  if ((flags & kGzipFlagExtra) != 0) {
+    const std::uint32_t xlen =
+        static_cast<std::uint32_t>(u8()) | (static_cast<std::uint32_t>(u8()) << 8);
+    for (std::uint32_t i = 0; i < xlen; ++i) u8();
+  }
+  // Zero padding past the buffer terminates these scans (and trips the
+  // caller's overflow check).
+  if ((flags & kGzipFlagName) != 0) {
+    while (u8() != 0) {
+    }
+  }
+  if ((flags & kGzipFlagComment) != 0) {
+    while (u8() != 0) {
+    }
+  }
+  if ((flags & kGzipFlagHcrc) != 0) {
+    u8();
+    u8();
+  }
+}
+
+}  // namespace gompresso::ingest

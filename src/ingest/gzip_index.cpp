@@ -1,0 +1,440 @@
+#include "ingest/gzip_index.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+
+#include "obs/metrics.hpp"
+#include "util/crc32.hpp"
+#include "util/varint.hpp"
+
+namespace gompresso::ingest {
+namespace {
+
+struct IngestCounters {
+  obs::Counter index_builds;
+  obs::Counter sidecar_loads;
+  obs::Counter chunks_indexed;
+  obs::Counter chunk_fallbacks;
+  obs::Counter boundary_candidates;
+  obs::Counter boundary_bits_scanned;
+  obs::Counter bytes_indexed;
+};
+
+const IngestCounters& counters() {
+  static const IngestCounters c = {
+      obs::registry().counter("ingest.index_builds", "builds"),
+      obs::registry().counter("ingest.sidecar_loads", "loads"),
+      obs::registry().counter("ingest.chunks_indexed", "chunks"),
+      obs::registry().counter("ingest.chunk_fallbacks", "chunks"),
+      obs::registry().counter("ingest.boundary_candidates", "candidates"),
+      obs::registry().counter("ingest.boundary_bits_scanned", "bits"),
+      obs::registry().counter("ingest.bytes_indexed", "bytes"),
+  };
+  return c;
+}
+
+/// Extra slice bytes past the grid pitch so a block straddling the
+/// nominal chunk end usually decodes without a grow-and-retry.
+constexpr std::uint64_t kSliceMargin = 64 * 1024;
+
+/// One grid cell's speculative work, filled in by a pool worker.
+struct ChunkTask {
+  // Inputs.
+  std::uint64_t grid_byte = 0;       // c_i: cell begin (slice base)
+  std::uint64_t next_grid_byte = 0;  // c_{i+1}: cell end (stop target)
+  bool byte_mode = false;            // known start: decode bytes directly
+  std::uint64_t start_bit = 0;       // byte mode only (absolute)
+
+  // Outputs.
+  bool ok = false;            // a decode from found_bit/start_bit succeeded
+  std::uint64_t found_bit = 0;  // absolute block boundary the decode used
+  std::uint64_t end_bit = 0;    // absolute end of the decoded run
+  ChunkStatus status = ChunkStatus::kStopped;
+  std::vector<std::uint16_t> tokens;   // marker mode
+  Bytes bytes;                         // byte mode
+  std::vector<MemberEvent> members;    // out_offsets are chunk-relative
+  BoundaryScanStats stats;
+};
+
+/// Decodes resolved bytes from absolute `start_bit` until the first
+/// block boundary at/after byte `stop_byte`, growing the staged slice
+/// on kNeedMoreData. Used for the stream-start chunk (window known to
+/// be empty) and for stitch fallbacks (window known from the
+/// predecessor). Corruption here is genuine — the window is true.
+struct ByteRun {
+  std::uint64_t end_bit = 0;
+  ChunkStatus status = ChunkStatus::kStopped;
+  Bytes out;
+  std::vector<MemberEvent> members;
+};
+
+ByteRun decode_byte_run(serve::ByteSource& source, std::uint64_t source_size,
+                        std::uint64_t start_bit, std::uint64_t stop_byte,
+                        ByteSpan start_window, InflateScratch& scratch) {
+  const std::uint64_t base = start_bit >> 3;
+  std::uint64_t slice_len =
+      std::min(stop_byte - base + kSliceMargin, source_size - base);
+  while (true) {
+    Bytes slice(static_cast<std::size_t>(slice_len));
+    source.read_at(base, MutableByteSpan(slice.data(), slice.size()));
+    // Bounding by the staged slice (not the whole remaining stream)
+    // caps the garbage a short slice's zero padding can decode into
+    // before the grow-and-retry kicks in.
+    GrowingByteSink sink(start_window, max_inflated_bytes(slice_len));
+    ChunkResult res;
+    const ChunkStatus status = inflate_chunk(
+        ByteSpan(slice.data(), slice.size()), start_bit - 8 * base,
+        (stop_byte - base) * 8, source_size - base, sink, scratch, res);
+    if (status == ChunkStatus::kNeedMoreData) {
+      slice_len = std::min(slice_len * 2, source_size - base);
+      continue;  // terminates: a full slice can never report kNeedMoreData
+    }
+    ByteRun run;
+    run.end_bit = 8 * base + res.end_bit;
+    run.status = status;
+    run.out = std::move(sink.bytes());
+    run.members = std::move(res.members);
+    return run;
+  }
+}
+
+/// Speculative path: find a boundary in [grid_byte, next_grid_byte),
+/// marker-decode from it. Boundary misses and false candidates leave
+/// ok == false / advance the scan; only I/O errors escape.
+void run_marker_task(serve::ByteSource& source, std::uint64_t source_size,
+                     ChunkTask& t) {
+  const std::uint64_t base = t.grid_byte;
+  const std::uint64_t stop_rel_bit = (t.next_grid_byte - base) * 8;
+  std::uint64_t slice_len =
+      std::min(t.next_grid_byte - base + kSliceMargin, source_size - base);
+  InflateScratch scratch;
+  std::uint64_t scan_from = 0;
+  while (true) {
+    Bytes slice(static_cast<std::size_t>(slice_len));
+    source.read_at(base, MutableByteSpan(slice.data(), slice.size()));
+    const ByteSpan span(slice.data(), slice.size());
+    bool grow = false;
+    while (!grow) {
+      const std::uint64_t cand =
+          find_block_boundary(span, scan_from, stop_rel_bit, scratch, &t.stats);
+      if (cand == kNoBoundary) return;  // stitch will fall back
+      MarkerSink sink(t.tokens, max_inflated_bytes(slice_len));
+      ChunkResult res;
+      ChunkStatus status;
+      try {
+        status = inflate_chunk(span, cand, stop_rel_bit, source_size - base,
+                               sink, scratch, res);
+      } catch (const CorruptionError&) {
+        scan_from = cand + 1;  // false positive: keep scanning
+        continue;
+      }
+      if (status == ChunkStatus::kNeedMoreData) {
+        if (slice_len >= source_size - base) {
+          scan_from = cand + 1;  // defensive; a full slice cannot ask for more
+          continue;
+        }
+        slice_len = std::min(slice_len * 2, source_size - base);
+        scan_from = cand;  // the candidate itself is still plausible
+        grow = true;
+        continue;
+      }
+      t.ok = true;
+      t.found_bit = 8 * base + cand;
+      t.end_bit = 8 * base + res.end_bit;
+      t.status = status;
+      t.members = std::move(res.members);
+      return;
+    }
+  }
+}
+
+void run_byte_task(serve::ByteSource& source, std::uint64_t source_size,
+                   ChunkTask& t) {
+  InflateScratch scratch;
+  ByteRun run = decode_byte_run(source, source_size, t.start_bit,
+                                t.next_grid_byte, ByteSpan(), scratch);
+  t.ok = true;
+  t.found_bit = t.start_bit;
+  t.end_bit = run.end_bit;
+  t.status = run.status;
+  t.bytes = std::move(run.out);
+  t.members = std::move(run.members);
+}
+
+/// Sequential stitch state threaded through the cells in order.
+struct StitchState {
+  Bytes window;  // rolling last-32-KiB of output, zero-prefilled
+  std::uint64_t uncomp_pos = 0;
+  std::uint64_t cur_bit = 0;
+  std::uint32_t member_crc = 0;
+  std::uint64_t member_len = 0;
+  bool eos = false;
+};
+
+void roll_window(Bytes& window, ByteSpan out) {
+  if (out.size() >= kWindowSize) {
+    std::copy(out.end() - kWindowSize, out.end(), window.begin());
+    return;
+  }
+  std::copy(window.begin() + static_cast<std::ptrdiff_t>(out.size()),
+            window.end(), window.begin());
+  std::copy(out.begin(), out.end(), window.end() - static_cast<std::ptrdiff_t>(out.size()));
+}
+
+}  // namespace
+
+GzipIndex GzipIndex::build(serve::ByteSource& source,
+                           const GzipIndexOptions& options) {
+  const IngestCounters& ctr = counters();
+  ctr.index_builds.inc();
+
+  GzipIndex idx;
+  idx.source_size_ = source.size();
+  const std::uint64_t S = idx.source_size_;
+
+  serve::SourceReader reader(source);
+  const GzipMemberHeader first = parse_member_header(reader);
+  check_format(S >= first.header_bytes + kGzipTrailerBytes,
+               "gzip: stream too short for a member");
+  const std::uint64_t data_begin = first.header_bytes;
+
+  const std::uint64_t chunk_comp = std::max<std::uint64_t>(options.chunk_size, 4096);
+  const std::size_t n =
+      static_cast<std::size_t>(div_ceil(S - data_begin, chunk_comp));
+  const std::size_t par =
+      options.pool != nullptr ? options.pool->parallelism() : 1;
+  const bool speculate = par > 1 && n > 1;
+
+  StitchState st;
+  st.window.assign(kWindowSize, 0);
+  st.cur_bit = 8 * data_begin;
+
+  InflateScratch stitch_scratch;
+  const auto stitch_cell = [&](ChunkTask& t, bool counted_fallback) {
+    if (st.cur_bit >= 8 * t.next_grid_byte) return;  // eaten by predecessor
+    const std::uint64_t start_bit = st.cur_bit;
+    Bytes out;
+    std::uint64_t end_bit;
+    ChunkStatus status;
+    std::vector<MemberEvent> events;
+    if (t.ok && (t.byte_mode || t.found_bit == st.cur_bit)) {
+      if (t.byte_mode) {
+        out = std::move(t.bytes);
+      } else {
+        out.resize(t.tokens.size());
+        patch_markers(t.tokens, ByteSpan(st.window.data(), st.window.size()),
+                      MutableByteSpan(out.data(), out.size()));
+      }
+      end_bit = t.end_bit;
+      status = t.status;
+      events = std::move(t.members);
+    } else {
+      // Speculation missed (no boundary, or a boundary the stream did
+      // not actually stop at): decode this cell sequentially with the
+      // true window in hand.
+      if (counted_fallback) ctr.chunk_fallbacks.inc();
+      const ByteSpan win =
+          st.uncomp_pos == 0
+              ? ByteSpan()
+              : ByteSpan(st.window.data(), st.window.size());
+      ByteRun run = decode_byte_run(source, S, st.cur_bit, t.next_grid_byte,
+                                    win, stitch_scratch);
+      out = std::move(run.out);
+      end_bit = run.end_bit;
+      status = run.status;
+      events = std::move(run.members);
+    }
+
+    if (options.verify_members) {
+      std::size_t prev = 0;
+      for (const MemberEvent& ev : events) {
+        const std::size_t at = static_cast<std::size_t>(ev.out_offset);
+        st.member_crc = crc32(ByteSpan(out.data() + prev, at - prev), st.member_crc);
+        st.member_len += at - prev;
+        check_corrupt(st.member_crc == ev.crc32, "gzip: member CRC32 mismatch");
+        check_corrupt(static_cast<std::uint32_t>(st.member_len) == ev.isize,
+                      "gzip: member ISIZE mismatch");
+        st.member_crc = 0;
+        st.member_len = 0;
+        prev = at;
+      }
+      st.member_crc =
+          crc32(ByteSpan(out.data() + prev, out.size() - prev), st.member_crc);
+      st.member_len += out.size() - prev;
+    }
+    idx.num_members_ += events.size();
+
+    if (!out.empty()) {
+      GzipChunk c;
+      c.start_bit = start_bit;
+      c.end_bit = end_bit;
+      c.uncomp_offset = st.uncomp_pos;
+      c.uncomp_size = out.size();
+      if (st.uncomp_pos == 0) {
+        c.window_bytes = 0;
+        c.window_offset = idx.windows_.size();
+      } else {
+        c.window_offset = idx.windows_.size();
+        c.window_bytes = static_cast<std::uint32_t>(kWindowSize);
+        idx.windows_.insert(idx.windows_.end(), st.window.begin(), st.window.end());
+      }
+      idx.chunks_.push_back(c);
+      ctr.chunks_indexed.inc();
+      ctr.bytes_indexed.add(out.size());
+    }
+
+    roll_window(st.window, ByteSpan(out.data(), out.size()));
+    st.uncomp_pos += out.size();
+    st.cur_bit = end_bit;
+    st.eos = status == ChunkStatus::kEndOfStream;
+  };
+
+  const auto make_task = [&](std::size_t i) {
+    ChunkTask t;
+    t.grid_byte = data_begin + i * chunk_comp;
+    t.next_grid_byte = std::min(S, t.grid_byte + chunk_comp);
+    if (i == 0) {
+      t.byte_mode = true;
+      t.start_bit = 8 * data_begin;
+    }
+    return t;
+  };
+
+  if (!speculate) {
+    // Pure sequential: every cell goes through the stitch fallback with
+    // the window always known — no markers, no scan, and chunk-level
+    // fallbacks are the norm rather than a miss, so not counted.
+    for (std::size_t i = 0; i < n && !st.eos; ++i) {
+      ChunkTask t = make_task(i);
+      stitch_cell(t, /*counted_fallback=*/false);
+    }
+  } else {
+    // Waves of speculative tasks, stitched in order between waves. The
+    // wave width of 2x parallelism keeps workers busy while bounding
+    // the token streams held in memory at once.
+    const std::size_t wave = 2 * par;
+    for (std::size_t w0 = 0; w0 < n && !st.eos; w0 += wave) {
+      const std::size_t w1 = std::min(n, w0 + wave);
+      std::vector<ChunkTask> tasks;
+      tasks.reserve(w1 - w0);
+      for (std::size_t i = w0; i < w1; ++i) tasks.push_back(make_task(i));
+      options.pool->parallel_for(tasks.size(), [&](std::size_t k) {
+        ChunkTask& t = tasks[k];
+        if (t.byte_mode) {
+          run_byte_task(source, S, t);
+        } else {
+          run_marker_task(source, S, t);
+        }
+      });
+      for (ChunkTask& t : tasks) {
+        ctr.boundary_candidates.add(t.stats.candidates);
+        ctr.boundary_bits_scanned.add(t.stats.bits_scanned);
+        if (st.eos) break;
+        stitch_cell(t, /*counted_fallback=*/true);
+      }
+    }
+  }
+
+  check_corrupt(st.eos, "gzip: stream ended without a final member trailer");
+  idx.total_uncompressed_ = st.uncomp_pos;
+  return idx;
+}
+
+std::size_t GzipIndex::chunk_containing(std::uint64_t offset) const {
+  check(offset < total_uncompressed_, "gzip: offset past end of stream");
+  const auto it = std::upper_bound(
+      chunks_.begin(), chunks_.end(), offset,
+      [](std::uint64_t off, const GzipChunk& c) { return off < c.uncomp_offset; });
+  return static_cast<std::size_t>(it - chunks_.begin()) - 1;
+}
+
+Bytes GzipIndex::serialize() const {
+  Bytes out;
+  put_u32le(out, kGzipIndexMagic);
+  out.push_back(kGzipIndexVersion);
+  put_varint(out, source_size_);
+  put_varint(out, total_uncompressed_);
+  put_varint(out, num_members_);
+  put_varint(out, chunks_.size());
+  for (const GzipChunk& c : chunks_) {
+    put_varint(out, c.start_bit);
+    put_varint(out, c.end_bit);
+    put_varint(out, c.uncomp_offset);
+    put_varint(out, c.uncomp_size);
+    put_varint(out, c.window_bytes);
+    const ByteSpan w(windows_.data() + c.window_offset, c.window_bytes);
+    out.insert(out.end(), w.begin(), w.end());
+  }
+  return out;
+}
+
+GzipIndex GzipIndex::deserialize(ByteSpan sidecar) {
+  util::SpanReader reader(sidecar);
+  check_format(reader.read_u32le() == kGzipIndexMagic,
+               "gzip: bad seek-index magic");
+  check_format(reader.read_u8() == kGzipIndexVersion,
+               "gzip: unsupported seek-index version");
+  GzipIndex idx;
+  idx.source_size_ = reader.read_varint();
+  idx.total_uncompressed_ = reader.read_varint();
+  idx.num_members_ = reader.read_varint();
+  const std::uint64_t count = reader.read_varint();
+  // A chunk costs >= 6 sidecar bytes, so an implausible count fails
+  // fast instead of reserving unbounded memory.
+  check_format(count <= sidecar.size(), "gzip: implausible chunk count");
+  std::uint64_t expect_offset = 0;
+  std::uint64_t prev_end_bit = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    GzipChunk c;
+    c.start_bit = reader.read_varint();
+    c.end_bit = reader.read_varint();
+    c.uncomp_offset = reader.read_varint();
+    c.uncomp_size = reader.read_varint();
+    const std::uint64_t wbytes = reader.read_varint();
+    check_format(c.start_bit >= prev_end_bit && c.start_bit < c.end_bit &&
+                     c.end_bit <= 8 * idx.source_size_,
+                 "gzip: seek-index chunk extents out of order");
+    check_format(c.uncomp_offset == expect_offset && c.uncomp_size > 0,
+                 "gzip: seek-index offsets not contiguous");
+    // The writer's invariant: only the stream-start chunk has no
+    // window, and every other window is exactly 32 KiB. decode_block
+    // relies on this to resolve any in-window distance.
+    check_format(wbytes == (c.uncomp_offset == 0 ? 0 : kWindowSize),
+                 "gzip: seek-index window size invalid");
+    c.window_bytes = static_cast<std::uint32_t>(wbytes);
+    c.window_offset = idx.windows_.size();
+    if (wbytes != 0) {
+      idx.windows_.resize(idx.windows_.size() + static_cast<std::size_t>(wbytes));
+      reader.read_exact(MutableByteSpan(
+          idx.windows_.data() + c.window_offset, static_cast<std::size_t>(wbytes)));
+    }
+    expect_offset += c.uncomp_size;
+    prev_end_bit = c.end_bit;
+    idx.chunks_.push_back(c);
+  }
+  check_format(expect_offset == idx.total_uncompressed_,
+               "gzip: seek-index total size mismatch");
+  check_format(reader.at_end(), "gzip: trailing bytes in seek index");
+  counters().sidecar_loads.inc();
+  return idx;
+}
+
+void GzipIndex::save(const std::string& path) const {
+  const Bytes data = serialize();
+  std::ofstream out(path, std::ios::binary);
+  check_io(out.good(), "gzip: cannot open sidecar for writing");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  check_io(out.good(), "gzip: sidecar write failed");
+}
+
+GzipIndex GzipIndex::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  check_io(in.good(), "gzip: cannot open sidecar");
+  const Bytes data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return deserialize(data);
+}
+
+}  // namespace gompresso::ingest

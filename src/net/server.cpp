@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/open.hpp"
 #include "obs/metrics.hpp"
 
 namespace gompresso::net {
@@ -62,28 +63,52 @@ constexpr char kAcceptRanges[] = "Accept-Ranges: bytes";
 
 }  // namespace
 
-Server::Server(SourceFactory factory, serve::SeekIndex index,
+Server::Server(SourceFactory factory,
+               std::shared_ptr<serve::ContainerBackend> backend,
                ServeOptions options)
     : factory_(std::move(factory)),
-      index_(std::move(index)),
+      backend_(std::move(backend)),
       options_(options),
       decode_pool_(options.decode_threads),
       queue_(std::max<std::size_t>(options.pending_requests, 1)) {
   obs::ensure_initialized();
   check(factory_ != nullptr, "net: serve needs a source factory");
+  check(backend_ != nullptr, "net: serve needs a container backend");
   check(options_.worker_threads > 0, "net: serve needs at least one worker");
   check(options_.max_connections > 0, "net: max_connections must be positive");
 }
 
-serve::SeekIndex Server::build_index(const SourceFactory& factory) {
+Server::Server(SourceFactory factory, serve::SeekIndex index,
+               ServeOptions options)
+    : Server(std::move(factory),
+             serve::make_gmpz_backend(std::move(index),
+                                      [&options] {
+                                        serve::BackendDecodeOptions o;
+                                        o.verify_checksums =
+                                            options.session.verify_checksums;
+                                        o.auto_strategy =
+                                            options.session.auto_strategy;
+                                        o.strategy = options.session.strategy;
+                                        return o;
+                                      }()),
+             options) {}
+
+std::shared_ptr<serve::ContainerBackend> Server::build_backend(
+    const SourceFactory& factory, const ServeOptions& options) {
   check(factory != nullptr, "net: serve needs a source factory");
   auto probe = factory();
   check(probe != nullptr, "net: source factory returned null");
-  return serve::SeekIndex::build(*probe);
+  // Sniff-and-dispatch through the same front door as gompresso::open():
+  // a native container gets its SeekIndex, a gzip stream gets a parallel
+  // speculative GzipIndex built on the server's decode-thread budget.
+  OpenOptions oopt;
+  oopt.session = options.session;
+  oopt.session.num_threads = options.decode_threads;
+  return open_backend(*probe, oopt);
 }
 
 Server::Server(SourceFactory factory, ServeOptions options)
-    : Server(factory, build_index(factory), options) {}
+    : Server(factory, build_backend(factory, options), options) {}
 
 Server::~Server() { stop(); }
 
@@ -505,7 +530,7 @@ bool Server::serve_request(Conn& conn, const std::string& head,
   }
 
   // -- the archive resource -----------------------------------------
-  const std::uint64_t total = index_.total_uncompressed();
+  const std::uint64_t total = backend_->total_uncompressed();
   int status = 200;
   std::uint64_t first = 0;
   std::uint64_t last = total == 0 ? 0 : total - 1;
@@ -561,7 +586,7 @@ bool Server::serve_request(Conn& conn, const std::string& head,
     sopt.retry.jitter_seed ^= conn.id * 0x9E3779B97F4A7C15ull;
     try {
       conn.session = std::make_unique<serve::DecodeSession>(
-          factory_(), index_, sopt);
+          factory_(), backend_, sopt);
     } catch (const Error& e) {
       stats_.error_500.fetch_add(1, std::memory_order_relaxed);
       return send_text(500, std::string("open failed: ") + e.what() + "\n",

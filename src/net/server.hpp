@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "net/http.hpp"
+#include "serve/backend.hpp"
 #include "serve/decode_session.hpp"
 #include "serve/seek_index.hpp"
 #include "util/bounded_queue.hpp"
@@ -119,12 +120,19 @@ struct ServerStats {
 
 class Server {
  public:
-  /// Serves the archive `factory` opens, using a pre-built index (the
-  /// robust path: build the index from a trusted source, then even a
-  /// fault-injected data plane cannot corrupt the geometry).
+  /// Serves the archive `factory` opens through a pre-built container
+  /// backend (the robust path: build the geometry from a trusted
+  /// source, then even a fault-injected data plane cannot corrupt it).
+  /// The backend is shared by every per-connection session — GMPZ/GMPS
+  /// and gzip backends alike.
+  Server(SourceFactory factory, std::shared_ptr<serve::ContainerBackend> backend,
+         ServeOptions options = {});
+  /// Native-container compatibility form: wraps the SeekIndex in a
+  /// GMPZ backend.
   Server(SourceFactory factory, serve::SeekIndex index,
          ServeOptions options = {});
-  /// Convenience: scans one factory() source to build the index.
+  /// Convenience: sniffs one factory() source and builds the matching
+  /// backend (gompresso::open_backend), so `gomp serve any.gz` works.
   explicit Server(SourceFactory factory, ServeOptions options = {});
 
   /// Drains and joins (equivalent to stop()).
@@ -151,7 +159,7 @@ class Server {
   ServerStats stats() const;
 
   /// Total uncompressed bytes of the served archive.
-  std::uint64_t archive_size() const { return index_.total_uncompressed(); }
+  std::uint64_t archive_size() const { return backend_->total_uncompressed(); }
 
  private:
   /// One client connection. Owned by exactly one thread at a time; the
@@ -215,14 +223,15 @@ class Server {
   static void shed_response(Conn& conn, int status, const char* reason,
                             bool keep = false);
 
-  static serve::SeekIndex build_index(const SourceFactory& factory);
+  static std::shared_ptr<serve::ContainerBackend> build_backend(
+      const SourceFactory& factory, const ServeOptions& options);
   void bump_2xx(int status);
 
   bool admit_bytes(std::uint64_t n);
   void release_bytes(std::uint64_t n);
 
   SourceFactory factory_;
-  serve::SeekIndex index_;
+  std::shared_ptr<serve::ContainerBackend> backend_;
   ServeOptions options_;
 
   ThreadPool decode_pool_;

@@ -54,6 +54,16 @@ void bump(std::atomic<std::uint64_t>& local, const obs::Counter& global,
   global.add(n);
 }
 
+/// Decode knobs the deprecated native-container constructors forward
+/// from their SessionOptions into the backend they build.
+BackendDecodeOptions backend_decode_options(const SessionOptions& options) {
+  BackendDecodeOptions d;
+  d.verify_checksums = options.verify_checksums;
+  d.auto_strategy = options.auto_strategy;
+  d.strategy = options.strategy;
+  return d;
+}
+
 }  // namespace
 
 std::uint64_t RetryPolicy::jittered_backoff_us(std::size_t attempt,
@@ -76,33 +86,38 @@ std::uint64_t RetryPolicy::jittered_backoff_us(std::size_t attempt,
 }
 
 DecodeSession::DecodeSession(std::unique_ptr<ByteSource> source,
+                             std::shared_ptr<ContainerBackend> backend,
                              SessionOptions options)
     : source_(std::move(source)),
-      index_(SeekIndex::build(*source_)),
+      backend_(std::move(backend)),
+      options_(options) {
+  check(backend_ != nullptr, "serve: null container backend");
+  check_format(backend_->source_size() == source_->size(),
+               "serve: seek index does not match the source (rebuild it)");
+  init();
+}
+
+DecodeSession::DecodeSession(std::unique_ptr<ByteSource> source,
+                             SessionOptions options)
+    : source_(std::move(source)),
+      backend_(make_gmpz_backend(SeekIndex::build(*source_),
+                                 backend_decode_options(options))),
       options_(options) {
   init();
 }
 
 DecodeSession::DecodeSession(std::unique_ptr<ByteSource> source, SeekIndex index,
                              SessionOptions options)
-    : source_(std::move(source)), index_(std::move(index)), options_(options) {
-  check_format(index_.source_size() == source_->size(),
+    : source_(std::move(source)),
+      backend_(make_gmpz_backend(std::move(index),
+                                 backend_decode_options(options))),
+      options_(options) {
+  check_format(backend_->source_size() == source_->size(),
                "serve: seek index does not match the source (rebuild it)");
   init();
 }
 
 void DecodeSession::init() {
-  // Per-segment strategy, resolved once: a stream may mix DE and non-DE
-  // segments, and an explicit DE request must be validated against every
-  // segment before the first read.
-  DecompressOptions dopt;
-  dopt.auto_strategy = options_.auto_strategy;
-  dopt.strategy = options_.strategy;
-  segment_strategy_.reserve(index_.num_segments());
-  for (std::size_t s = 0; s < index_.num_segments(); ++s) {
-    segment_strategy_.push_back(core::resolve_strategy(dopt, index_.segment_header(s)));
-  }
-
   if (options_.buffer_pool != nullptr) buffers_ = options_.buffer_pool;
   if (options_.pool != nullptr) {
     // Shared pool (the serve daemon): concurrency and memory are bounded
@@ -118,14 +133,14 @@ void DecodeSession::init() {
   window_ = async_ ? std::max<std::size_t>(1, options_.max_inflight_blocks) : 1;
   // A window beyond the block count buys nothing and would drag the
   // cache capacity (clamped up to the window below) along with it.
-  window_ = std::min(window_, std::max<std::size_t>(1, index_.num_blocks()));
+  window_ = std::min(window_, std::max<std::size_t>(1, backend_->num_blocks()));
   // The cache must hold at least the prefetch window, or the pipeline
   // would evict blocks it just decoded before the reader reaches them.
   cache_capacity_ = std::max(options_.cache_blocks, window_);
   // Construction is single-threaded; the lock satisfies the analysis
   // (init() runs outside the constructor-body exemption).
   util::MutexLock lock(mutex_);
-  health_.assign(index_.num_blocks(), BlockHealth::kUnknown);
+  health_.assign(backend_->num_blocks(), BlockHealth::kUnknown);
 }
 
 DecodeSession::~DecodeSession() {
@@ -181,11 +196,11 @@ std::size_t DecodeSession::read_impl(std::uint64_t offset, MutableByteSpan dst) 
   std::size_t done = 0;
   while (done < n) {
     const std::uint64_t off = offset + done;
-    const std::size_t b = index_.block_containing(off);
-    const BlockEntry& e = index_.block(b);
+    const std::size_t b = backend_->block_containing(off);
+    const BackendBlock e = backend_->block(b);
     const std::size_t in_block = static_cast<std::size_t>(off - e.uncomp_offset);
-    const std::size_t take =
-        std::min<std::size_t>(n - done, e.uncomp_size - in_block);
+    const std::size_t take = std::min<std::size_t>(
+        n - done, static_cast<std::size_t>(e.uncomp_size) - in_block);
     fetch_into(b, in_block, take, dst.data() + done);
     done += take;
   }
@@ -204,11 +219,11 @@ std::size_t DecodeSession::read_at_damage_tolerant(std::uint64_t offset,
   std::size_t done = 0;
   while (done < n) {
     const std::uint64_t off = offset + done;
-    const std::size_t b = index_.block_containing(off);
-    const BlockEntry& e = index_.block(b);
+    const std::size_t b = backend_->block_containing(off);
+    const BackendBlock e = backend_->block(b);
     const std::size_t in_block = static_cast<std::size_t>(off - e.uncomp_offset);
-    const std::size_t take =
-        std::min<std::size_t>(n - done, e.uncomp_size - in_block);
+    const std::size_t take = std::min<std::size_t>(
+        n - done, static_cast<std::size_t>(e.uncomp_size) - in_block);
 
     // Known-damaged fast path: a block that already failed permanently
     // is zero-filled without re-decoding it on every read.
@@ -255,9 +270,9 @@ std::size_t DecodeSession::read_at_damage_tolerant(std::uint64_t offset,
 DamageReport DecodeSession::verify_archive() {
   DamageReport report;
   Bytes scratch;
-  for (std::size_t b = 0; b < index_.num_blocks(); ++b) {
-    const BlockEntry& e = index_.block(b);
-    scratch.resize(e.uncomp_size);
+  for (std::size_t b = 0; b < backend_->num_blocks(); ++b) {
+    const BackendBlock e = backend_->block(b);
+    scratch.resize(static_cast<std::size_t>(e.uncomp_size));
     read_at_damage_tolerant(e.uncomp_offset,
                             MutableByteSpan(scratch.data(), scratch.size()),
                             &report);
@@ -273,7 +288,7 @@ BlockHealth DecodeSession::block_health(std::size_t b) const {
 
 void DecodeSession::schedule_locked(std::uint64_t first,
                                     std::vector<std::uint64_t>& to_run) {
-  const std::uint64_t end_block = index_.num_blocks();
+  const std::uint64_t end_block = backend_->num_blocks();
   // Subtractive window bound: `first + window_` could wrap for an absurd
   // max_inflight_blocks (e.g. CLI --inflight -1 wrapping through stoul)
   // and turn the demanded block's scheduling into a livelock.
@@ -427,7 +442,6 @@ void DecodeSession::decode_task(std::uint64_t block) {
   const RetryPolicy& policy = options_.retry;
   std::uint64_t slept_us = 0;
   for (std::size_t attempt = 1;; ++attempt) {
-    std::unique_ptr<core::BlockDecodeContext> ctx;
     // Failure record for this attempt; typed failures never keep the
     // exception object itself (see Slot::error_typed).
     bool typed = false;
@@ -435,16 +449,14 @@ void DecodeSession::decode_task(std::uint64_t block) {
     std::string what;
     std::exception_ptr untyped;
     try {
-      const BlockEntry& e = index_.block(static_cast<std::size_t>(block));
-      util::PooledBuffer comp = buffers_->acquire(static_cast<std::size_t>(e.comp_size));
-      source_->read_at(e.comp_offset, comp.span());
-      util::PooledBuffer out = buffers_->acquire(e.uncomp_size);
-      ctx = pop_context();
-      core::decode_block_at(index_.segment_header(e.segment), comp.cspan(), out.span(),
-                            segment_strategy_[e.segment], options_.verify_checksums,
-                            *ctx, /*lane_pool=*/nullptr);
-      push_context(std::move(ctx));
-      comp.reset();  // return the staging buffer before publishing
+      const BackendBlock e = backend_->block(static_cast<std::size_t>(block));
+      util::PooledBuffer out =
+          buffers_->acquire(static_cast<std::size_t>(e.uncomp_size));
+      // The backend draws its compressed staging from buffers_ too and
+      // returns it before this call publishes, so the memory-bound
+      // witness sees the same peak the old inline decode had.
+      backend_->decode_block(static_cast<std::size_t>(block), *source_,
+                             *buffers_, out.span());
 
       util::MutexLock lock(mutex_);
       health_[static_cast<std::size_t>(block)] = BlockHealth::kGood;
@@ -477,8 +489,6 @@ void DecodeSession::decode_task(std::uint64_t block) {
       untyped = std::current_exception();
       what = "unknown decode failure";
     }
-
-    if (ctx != nullptr) push_context(std::move(ctx));
 
     if (kind == ErrorKind::kIo) {
       // Jittered (seeded, per-block salt) so concurrent tasks tripping
@@ -535,19 +545,6 @@ void DecodeSession::evict_excess_locked() {
     }
     if (!evicted) break;  // every ready block has a waiter — overshoot
   }
-}
-
-std::unique_ptr<core::BlockDecodeContext> DecodeSession::pop_context() {
-  util::MutexLock lock(mutex_);
-  if (free_contexts_.empty()) return std::make_unique<core::BlockDecodeContext>();
-  auto ctx = std::move(free_contexts_.back());
-  free_contexts_.pop_back();
-  return ctx;
-}
-
-void DecodeSession::push_context(std::unique_ptr<core::BlockDecodeContext> ctx) {
-  util::MutexLock lock(mutex_);
-  free_contexts_.push_back(std::move(ctx));
 }
 
 SessionStats DecodeSession::stats() const {

@@ -1,15 +1,16 @@
 // Streaming decode sessions: bounded-memory incremental decompression.
 //
-// A DecodeSession opens a Gompresso container (or GMPS stream) through a
-// ByteSource and serves read()/seek()/read_at() with memory bounded by
-// the decode window and cache — independent of file size:
+// A DecodeSession opens a container (native GMPZ/GMPS, or a foreign
+// format like gzip) through a ByteSource and serves
+// read()/seek()/read_at() with memory bounded by the decode window and
+// cache — independent of file size:
 //
 //   peak pooled bytes <= (max_inflight_blocks + cache capacity + 1)
 //                        x (block_size + max compressed block size)
 //
-// Internally a SeekIndex maps uncompressed offsets to compressed block
-// extents (built from the header's size list, or loaded from a sidecar),
-// and a pipelined prefetcher keeps a sliding window of max_inflight_blocks
+// Internally a ContainerBackend (serve/backend.hpp) maps uncompressed
+// offsets to compressed block extents and decodes one block at a time;
+// a pipelined prefetcher keeps a sliding window of max_inflight_blocks
 // decode tasks in flight on the ThreadPool: sequential reads submit the
 // next window of blocks before blocking on the first, so decode overlaps
 // delivery (the rapidgzip pattern). Decoded blocks land in pooled buffers
@@ -34,7 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/block_decode.hpp"
+#include "serve/backend.hpp"
 #include "serve/byte_source.hpp"
 #include "serve/seek_index.hpp"
 #include "util/buffer_pool.hpp"
@@ -165,12 +166,24 @@ struct SessionStats {
 
 class DecodeSession {
  public:
-  /// Opens `source`, scanning it to build the seek index.
+  /// Opens `source` through `backend` — the one constructor every open
+  /// path funnels into (gompresso::open() picks the backend by sniffing
+  /// the source). Throws FormatError if the backend's block table was
+  /// built from a source of a different size.
+  DecodeSession(std::unique_ptr<ByteSource> source,
+                std::shared_ptr<ContainerBackend> backend,
+                SessionOptions options = {});
+
+  /// Deprecated shim (native containers only): scans `source` and
+  /// builds a GMPZ backend from the session options. Prefer
+  /// gompresso::open(), which also handles foreign formats and
+  /// sidecars; kept so existing callers compile unchanged.
   explicit DecodeSession(std::unique_ptr<ByteSource> source,
                          SessionOptions options = {});
 
-  /// Opens `source` with a pre-built index (e.g. SeekIndex::load()),
-  /// skipping the scan. Throws if the index does not match the source.
+  /// Deprecated shim (native containers only): wraps a pre-built
+  /// SeekIndex (e.g. SeekIndex::load()) in a GMPZ backend. Prefer
+  /// gompresso::open() with OpenOptions::sidecar_path.
   DecodeSession(std::unique_ptr<ByteSource> source, SeekIndex index,
                 SessionOptions options = {});
 
@@ -181,7 +194,7 @@ class DecodeSession {
   DecodeSession& operator=(const DecodeSession&) = delete;
 
   /// Total uncompressed size.
-  std::uint64_t size() const { return index_.total_uncompressed(); }
+  std::uint64_t size() const { return backend_->total_uncompressed(); }
 
   /// Sequential read at the session cursor; advances it. Returns the
   /// number of bytes produced — short only at end of data, 0 at or past
@@ -219,7 +232,22 @@ class DecodeSession {
   void seek(std::uint64_t offset) EXCLUDES(cursor_mutex_);
   std::uint64_t tell() const EXCLUDES(cursor_mutex_);
 
-  const SeekIndex& index() const { return index_; }
+  /// Backend-neutral block table accessors.
+  std::size_t num_blocks() const { return backend_->num_blocks(); }
+  BackendBlock block_extent(std::size_t b) const { return backend_->block(b); }
+  std::uint64_t compressed_end() const { return backend_->compressed_end(); }
+
+  const ContainerBackend& backend() const { return *backend_; }
+
+  /// Native SeekIndex accessor — valid only for GMPZ/GMPS-backed
+  /// sessions (throws for foreign-format backends). Prefer the
+  /// backend-neutral accessors above; kept for sidecar workflows and
+  /// existing callers.
+  const SeekIndex& index() const {
+    const SeekIndex* idx = backend_->seek_index();
+    check(idx != nullptr, "serve: session backend has no native seek index");
+    return *idx;
+  }
 
   /// Coherent snapshot of the session's counters. Each field is an
   /// atomic relaxed load — no lock, so readers and decode tasks are
@@ -291,14 +319,10 @@ class DecodeSession {
                 std::uint64_t demanded) REQUIRES(mutex_);
   void decode_task(std::uint64_t block) EXCLUDES(mutex_);
   void evict_excess_locked() REQUIRES(mutex_);
-  std::unique_ptr<core::BlockDecodeContext> pop_context() EXCLUDES(mutex_);
-  void push_context(std::unique_ptr<core::BlockDecodeContext> ctx)
-      EXCLUDES(mutex_);
 
   std::unique_ptr<ByteSource> source_;
-  SeekIndex index_;
+  std::shared_ptr<ContainerBackend> backend_;
   SessionOptions options_;
-  std::vector<Strategy> segment_strategy_;
 
   std::unique_ptr<ThreadPool> own_pool_;
   ThreadPool* pool_ = nullptr;  // nullptr = always decode inline
@@ -325,8 +349,6 @@ class DecodeSession {
   std::vector<BlockHealth> health_ GUARDED_BY(mutex_);  // per block
   std::unordered_map<std::uint64_t, BlockDamage> damage_
       GUARDED_BY(mutex_);  // kDamaged blocks
-  std::vector<std::unique_ptr<core::BlockDecodeContext>> free_contexts_
-      GUARDED_BY(mutex_);
 };
 
 }  // namespace gompresso::serve
